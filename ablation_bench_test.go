@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bgq"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// flips one modeled or algorithmic lever and reports its effect.
+
+// BenchmarkAblationHWCollectives asks the §VII what-if: how much slower
+// would the training run be if BG/Q used software-tree collectives over
+// its links instead of the hardware torus collectives (i.e. behaved like
+// a commodity cluster network at BG/Q link speed)?
+func BenchmarkAblationHWCollectives(b *testing.B) {
+	counts := workload.Preset50h(false)
+	cfg := bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}
+	for _, hw := range []bool{true, false} {
+		name := "hardware"
+		if !hw {
+			name = "software-tree"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := bgq.BlueGeneQ()
+			if !hw {
+				m.HWCollectives = false
+				m.CollectiveBW = m.LinkBandwidth
+				m.EthContention = 1.5
+			}
+			var total float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Simulate(m, cfg, counts, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = r.TotalSec
+			}
+			b.ReportMetric(total, "model_s")
+		})
+	}
+}
+
+// BenchmarkAblationOSNoise quantifies the §VIII noise-free-kernel claim:
+// the same machine with Linux-like OS jitter on the compute cores.
+func BenchmarkAblationOSNoise(b *testing.B) {
+	counts := workload.Preset50h(false)
+	cfg := bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}
+	for _, noise := range []float64{0, 0.03, 0.08} {
+		b.Run(fmt.Sprintf("noise=%.0f%%", noise*100), func(b *testing.B) {
+			m := bgq.BlueGeneQ()
+			m.OSNoiseFrac = noise
+			var total float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Simulate(m, cfg, counts, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = r.TotalSec
+			}
+			b.ReportMetric(total, "model_s")
+		})
+	}
+}
+
+// BenchmarkAblationSmallBatchCores sweeps the small-minibatch core cap —
+// the §V-A "handling small matrices" lever behind the Figure 1(a)
+// configuration ordering.
+func BenchmarkAblationSmallBatchCores(b *testing.B) {
+	counts := workload.Preset50h(false)
+	cfg := bgq.Config{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64}
+	for _, cores := range []float64{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("cores=%g", cores), func(b *testing.B) {
+			m := bgq.BlueGeneQ()
+			m.SmallBatchCores = cores
+			var total float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Simulate(m, cfg, counts, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = r.TotalSec
+			}
+			b.ReportMetric(total, "model_s")
+		})
+	}
+}
+
+// BenchmarkAblationPreconditioner runs the real trainer with and without
+// the Martens diagonal preconditioner (the paper's deferred extension)
+// and reports total CG iterations and final loss.
+func BenchmarkAblationPreconditioner(b *testing.B) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 5, NumUtterances: 60, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
+	})
+	train, held := c.Split(6)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 1,
+		Seed:           3,
+	}
+	for _, prec := range []bool{false, true} {
+		name := "plain"
+		if prec {
+			name = "preconditioned"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cg int
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				cfg := hf.Config{
+					MaxIterations:     4,
+					UsePreconditioner: prec,
+					CG:                hf.CGOpts{MaxIters: 40, StopTol: 1e-6, MinIters: 3},
+				}
+				_, res, err := core.TrainSerialHF(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cg = res.TotalCGIters
+				loss = res.FinalLoss
+			}
+			b.ReportMetric(float64(cg), "cg_iters")
+			b.ReportMetric(loss, "final_loss")
+		})
+	}
+}
+
+// BenchmarkAblationCurvatureSample sweeps the §IV curvature-sample
+// fraction (the paper uses 1-3%) on the real trainer: smaller samples cut
+// per-iteration cost but degrade the quadratic model.
+func BenchmarkAblationCurvatureSample(b *testing.B) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 6, NumUtterances: 80, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
+	})
+	train, held := c.Split(6)
+	for _, frac := range []float64{0.05, 0.25, 1.0} {
+		b.Run(fmt.Sprintf("sample=%g", frac), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				prob := core.Problem{
+					Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+					Train:          train,
+					Heldout:        held,
+					Criterion:      core.CrossEntropy,
+					SampleFraction: frac,
+					Seed:           3,
+				}
+				_, res, err := core.TrainSerialHF(prob, hf.Config{MaxIterations: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = res.FinalLoss
+			}
+			b.ReportMetric(loss, "final_loss")
+		})
+	}
+}
+
+// BenchmarkAblationPartitionerImbalance reports the §V-C imbalance metric
+// of the real partitioners across worker counts.
+func BenchmarkAblationPartitionerImbalance(b *testing.B) {
+	lengths := corpus.GenerateLengths(corpus.Config{Seed: 9, NumUtterances: 20000})
+	utts := corpus.UtterancesFromLengths(lengths)
+	for _, workers := range []int{64, 1024} {
+		for _, part := range []corpus.Partitioner{corpus.RoundRobin{}, corpus.SortedGreedy{}} {
+			b.Run(fmt.Sprintf("%s/workers=%d", part.Name(), workers), func(b *testing.B) {
+				var imb float64
+				for i := 0; i < b.N; i++ {
+					imb = corpus.MeasureBalance(part.Partition(utts, workers)).Imbalance
+				}
+				b.ReportMetric(imb, "imbalance")
+			})
+		}
+	}
+}

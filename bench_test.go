@@ -1,0 +1,369 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bgq"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation section. Simulated experiments report the modeled execution
+// time of the paper-scale run as the "model_s" metric (the quantity the
+// paper plots); the real-trainer benchmarks measure actual wall time.
+//
+// Regenerate everything at once with:
+//
+//	go test -bench . -benchtime 1x
+//
+// or via cmd/experiments for the full text report.
+
+func simulateOrFatal(b *testing.B, m bgq.MachineSpec, cfg bgq.Config, counts workload.AlgoCounts, shards []int64) *workload.RunResult {
+	b.Helper()
+	r, err := workload.Simulate(m, cfg, counts, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFig1aConfigSweep50h regenerates Figure 1(a): execution time of
+// the 50-hour cross-entropy training across MPI/OpenMP configurations on
+// one rack of Blue Gene/Q.
+func BenchmarkFig1aConfigSweep50h(b *testing.B) {
+	m := bgq.BlueGeneQ()
+	counts := workload.Preset50h(false)
+	for _, cfg := range []bgq.Config{
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 16},
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 32},
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64},
+		{Ranks: 2048, RanksPerNode: 2, ThreadsPerRank: 32},
+		{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16},
+	} {
+		b.Run(cfg.Label(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = simulateOrFatal(b, m, cfg, counts, nil).TotalSec
+			}
+			b.ReportMetric(total, "model_s")
+			b.ReportMetric(total/3600, "model_h")
+		})
+	}
+}
+
+// BenchmarkFig1bConfigSweep400h regenerates Figure 1(b): the 400-hour
+// sweep including the two-rack 8192-4-16 configuration (the paper's ≈22%
+// additional speedup and ≈6.3 h total).
+func BenchmarkFig1bConfigSweep400h(b *testing.B) {
+	m := bgq.BlueGeneQ()
+	counts := workload.Preset400h(false)
+	for _, cfg := range []bgq.Config{
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64},
+		{Ranks: 2048, RanksPerNode: 2, ThreadsPerRank: 32},
+		{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16},
+		{Ranks: 8192, RanksPerNode: 4, ThreadsPerRank: 16},
+	} {
+		b.Run(cfg.Label(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = simulateOrFatal(b, m, cfg, counts, nil).TotalSec
+			}
+			b.ReportMetric(total, "model_s")
+			b.ReportMetric(total/3600, "model_h")
+		})
+	}
+}
+
+// cycleBenchConfigs are the three configurations of Figures 2-5.
+var cycleBenchConfigs = []bgq.Config{
+	{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64},
+	{Ranks: 2048, RanksPerNode: 2, ThreadsPerRank: 32},
+	{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16},
+}
+
+// BenchmarkFig2MasterCycles regenerates Figure 2: the master's
+// per-function cycle breakdown (committed / AXU-FXU stalls / IU-empty),
+// reported here as total Gcycles per function plus the committed share.
+func BenchmarkFig2MasterCycles(b *testing.B) {
+	benchCycles(b, true)
+}
+
+// BenchmarkFig3WorkerCycles regenerates Figure 3: the mean worker's
+// per-function cycle breakdown.
+func BenchmarkFig3WorkerCycles(b *testing.B) {
+	benchCycles(b, false)
+}
+
+func benchCycles(b *testing.B, master bool) {
+	m := bgq.BlueGeneQ()
+	counts := workload.Preset50h(false)
+	for _, cfg := range cycleBenchConfigs {
+		b.Run(cfg.Label(), func(b *testing.B) {
+			var rep workload.RankReport
+			for i := 0; i < b.N; i++ {
+				r := simulateOrFatal(b, m, cfg, counts, nil)
+				if master {
+					rep = r.Master
+				} else {
+					rep = r.WorkerMean
+				}
+			}
+			for name, ph := range rep {
+				if ph.Cycles.Total() == 0 {
+					continue
+				}
+				b.ReportMetric(ph.Cycles.Total()/1e9, name+"_Gcyc")
+			}
+		})
+	}
+}
+
+// BenchmarkFig4MasterMPI regenerates Figure 4: the master's MPI time per
+// function, split into collective and point-to-point seconds.
+func BenchmarkFig4MasterMPI(b *testing.B) {
+	benchMPI(b, true)
+}
+
+// BenchmarkFig5WorkerMPI regenerates Figure 5: the mean worker's MPI time
+// per function.
+func BenchmarkFig5WorkerMPI(b *testing.B) {
+	benchMPI(b, false)
+}
+
+func benchMPI(b *testing.B, master bool) {
+	m := bgq.BlueGeneQ()
+	counts := workload.Preset50h(false)
+	for _, cfg := range cycleBenchConfigs {
+		b.Run(cfg.Label(), func(b *testing.B) {
+			var rep workload.RankReport
+			for i := 0; i < b.N; i++ {
+				r := simulateOrFatal(b, m, cfg, counts, nil)
+				if master {
+					rep = r.Master
+				} else {
+					rep = r.WorkerMean
+				}
+			}
+			for name, ph := range rep {
+				if ph.CollSec > 0 {
+					b.ReportMetric(ph.CollSec, name+"_coll_s")
+				}
+				if ph.P2PSec > 0 {
+					b.ReportMetric(ph.P2PSec, name+"_p2p_s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1ScalingUp regenerates Table I: Intel-Xeon-96 vs
+// BG/Q-4096 training time for both criteria, with the raw and the
+// frequency-adjusted speedups the paper reports.
+func BenchmarkTable1ScalingUp(b *testing.B) {
+	bg := bgq.BlueGeneQ()
+	intel := bgq.IntelXeonCluster()
+	intelCfg := bgq.Config{Ranks: 96, RanksPerNode: 2, ThreadsPerRank: 8}
+	bgCfg := bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}
+	for _, spec := range []struct {
+		name string
+		seq  bool
+	}{{"CrossEntropy", false}, {"Sequence", true}} {
+		b.Run(spec.name, func(b *testing.B) {
+			counts := workload.Preset50h(spec.seq)
+			var speedup, intelH, bgH float64
+			for i := 0; i < b.N; i++ {
+				ri := simulateOrFatal(b, intel, intelCfg, counts, nil)
+				rb := simulateOrFatal(b, bg, bgCfg, counts, nil)
+				intelH = ri.TotalSec / 3600
+				bgH = rb.TotalSec / 3600
+				speedup = ri.TotalSec / rb.TotalSec
+			}
+			b.ReportMetric(intelH, "intel_h")
+			b.ReportMetric(bgH, "bgq_h")
+			b.ReportMetric(speedup, "speedup_x")
+			b.ReportMetric(speedup*2.9/1.6, "freq_adj_x")
+		})
+	}
+}
+
+// BenchmarkScalingLinearity regenerates the §I/§VIII scaling claim: the
+// speedup curve over MPI rank counts, near-linear at first and sub-linear
+// past 4096 ranks.
+func BenchmarkScalingLinearity(b *testing.B) {
+	m := bgq.BlueGeneQ()
+	counts := workload.Preset50h(false)
+	base := simulateOrFatal(b, m, bgq.Config{Ranks: 64, RanksPerNode: 4, ThreadsPerRank: 16}, counts, nil).TotalSec
+	for _, ranks := range []int{64, 256, 1024, 4096, 8192} {
+		cfg := bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = simulateOrFatal(b, m, cfg, counts, nil).TotalSec
+			}
+			sp := base / total
+			b.ReportMetric(total, "model_s")
+			b.ReportMetric(sp, "speedup_x")
+			b.ReportMetric(sp/(float64(ranks)/64), "parallel_eff")
+		})
+	}
+}
+
+// BenchmarkLoadBalanceAblation regenerates the §V-C study: simulated run
+// time under round-robin vs the paper's sorted-greedy partitioning, using
+// the real partitioner code on a synthetic utterance-length distribution.
+func BenchmarkLoadBalanceAblation(b *testing.B) {
+	m := bgq.BlueGeneQ()
+	counts := workload.Preset50h(false)
+	cfg := bgq.Config{Ranks: 1024, RanksPerNode: 4, ThreadsPerRank: 16}
+	lengths := corpus.GenerateLengths(corpus.Config{Seed: 42, NumUtterances: 45000})
+	for _, part := range []corpus.Partitioner{corpus.RoundRobin{}, corpus.SortedGreedy{}} {
+		b.Run(part.Name(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				shards := workload.ShardsFromPartition(lengths, cfg.Ranks-1, part, counts.TrainFrames)
+				total = simulateOrFatal(b, m, cfg, counts, shards).TotalSec
+			}
+			b.ReportMetric(total, "model_s")
+		})
+	}
+}
+
+// BenchmarkWeightSyncBcastVsP2P regenerates the §V-B comparison: the
+// socket-era serial point-to-point weight push versus the MPI broadcast
+// used after the rewrite.
+func BenchmarkWeightSyncBcastVsP2P(b *testing.B) {
+	m := bgq.BlueGeneQ()
+	counts := workload.Preset50h(false)
+	for _, ranks := range []int{256, 1024, 4096} {
+		cfg := bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			var p2p, bcast float64
+			for i := 0; i < b.N; i++ {
+				shape, err := torusShapeFor(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p2p = workload.WeightSyncP2PTime(m, cfg, counts.ParamBytes())
+				bcast = m.BcastTime(counts.ParamBytes(), cfg, shape)
+			}
+			b.ReportMetric(p2p, "p2p_s")
+			b.ReportMetric(bcast, "bcast_s")
+			b.ReportMetric(p2p/bcast, "ratio_x")
+		})
+	}
+}
+
+// BenchmarkRealDistributedHF measures actual wall time of the real
+// trainer over the in-process MPI fabric at increasing rank counts — the
+// laptop-scale ground truth anchoring the simulator.
+func BenchmarkRealDistributedHF(b *testing.B) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 7, NumUtterances: 40, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
+	})
+	train, held := c.Split(8)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 1,
+		Seed:           3,
+	}
+	cfg := hf.Config{MaxIterations: 3, CG: hf.CGOpts{MaxIters: 15, MinIters: 3}}
+	for _, ranks := range []int{2, 3, 5} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TrainDistributedHF(prob, cfg, ranks, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRealSerialHFvsSGD measures the real serial trainers — the
+// §II-A methods comparison at laptop scale.
+func BenchmarkRealSerialHFvsSGD(b *testing.B) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 8, NumUtterances: 40, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
+	})
+	train, held := c.Split(8)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 0.5,
+		Seed:           3,
+	}
+	b.Run("HF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.TrainSerialHF(prob, hf.Config{MaxIterations: 3, CG: hf.CGOpts{MaxIters: 15, MinIters: 3}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SGD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.TrainSGD(prob, core.SGDConfig{Epochs: 3, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRealTrainingMethods compares the real trainers of §II-A at
+// laptop scale on identical data: serial HF, serial minibatch SGD, and
+// asynchronous parameter-server SGD — wall time plus final held-out loss.
+func BenchmarkRealTrainingMethods(b *testing.B) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 12, NumUtterances: 60, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
+	})
+	train, held := c.Split(6)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 0.5,
+		Seed:           3,
+	}
+	b.Run("HF-serial", func(b *testing.B) {
+		var loss float64
+		for i := 0; i < b.N; i++ {
+			_, res, err := core.TrainSerialHF(prob, hf.Config{MaxIterations: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			loss = res.FinalLoss
+		}
+		b.ReportMetric(loss, "final_loss")
+	})
+	b.Run("SGD-serial", func(b *testing.B) {
+		var loss float64
+		for i := 0; i < b.N; i++ {
+			_, res, err := core.TrainSGD(prob, core.SGDConfig{Epochs: 4, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			loss = res.FinalLoss
+		}
+		b.ReportMetric(loss, "final_loss")
+	})
+	b.Run("SGD-async-4ranks", func(b *testing.B) {
+		var loss float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.TrainAsyncSGD(prob, core.AsyncSGDConfig{Epochs: 4, Seed: 1}, 4, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			loss = res.HeldOutLoss
+		}
+		b.ReportMetric(loss, "final_loss")
+	})
+}

@@ -1,0 +1,114 @@
+// Command bgqsim regenerates the paper's evaluation on the modeled Blue
+// Gene/Q: Figure 1 configuration sweeps, Figure 2-5 cycle and MPI
+// breakdowns, Table I, the rank-scaling study, and the §V-B/§V-C
+// ablations.
+//
+// Usage:
+//
+//	bgqsim -fig 1a            # 50-hour configuration sweep
+//	bgqsim -fig 1b            # 400-hour sweep incl. two racks
+//	bgqsim -fig 2|3|4|5       # cycle/MPI breakdowns
+//	bgqsim -table 1           # Table I
+//	bgqsim -scaling           # rank scaling study
+//	bgqsim -loadbalance       # §V-C partitioning ablation
+//	bgqsim -weightsync        # §V-B p2p vs broadcast
+//	bgqsim -all               # everything
+//	bgqsim -sequence ...      # use the sequence criterion workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 1a, 1b, 2, 3, 4, 5")
+	table := flag.Int("table", 0, "table to regenerate: 1")
+	scaling := flag.Bool("scaling", false, "run the rank-scaling study")
+	loadbalance := flag.Bool("loadbalance", false, "run the load-balance ablation")
+	weightsync := flag.Bool("weightsync", false, "run the weight-sync comparison")
+	all := flag.Bool("all", false, "regenerate everything")
+	sequence := flag.Bool("sequence", false, "use the sequence-training workload")
+	flag.Parse()
+
+	c50 := workload.Preset50h(*sequence)
+	c400 := workload.Preset400h(*sequence)
+	out := os.Stdout
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "bgqsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		report.Separator(out)
+	}
+
+	any := false
+	if *fig == "1a" || *all {
+		any = true
+		run("fig1a", func() error {
+			return report.Fig1(out, c50, false, "Figure 1(a): execution time, 50-hour training data")
+		})
+	}
+	if *fig == "1b" || *all {
+		any = true
+		run("fig1b", func() error {
+			return report.Fig1(out, c400, true, "Figure 1(b): execution time, 400-hour training data")
+		})
+	}
+	if *fig == "2" || *all {
+		any = true
+		run("fig2", func() error {
+			return report.CycleBreakdown(out, c50, true, "Figure 2: master process cycle breakdown")
+		})
+	}
+	if *fig == "3" || *all {
+		any = true
+		run("fig3", func() error {
+			return report.CycleBreakdown(out, c50, false, "Figure 3: worker process cycle breakdown")
+		})
+	}
+	if *fig == "4" || *all {
+		any = true
+		run("fig4", func() error {
+			return report.MPIBreakdown(out, c50, true, "Figure 4: master MPI communication time")
+		})
+	}
+	if *fig == "5" || *all {
+		any = true
+		run("fig5", func() error {
+			return report.MPIBreakdown(out, c50, false, "Figure 5: worker MPI communication time")
+		})
+	}
+	if *table == 1 || *all {
+		any = true
+		run("table1", func() error {
+			rows, err := report.Table1()
+			if err != nil {
+				return err
+			}
+			report.WriteTable1(out, rows)
+			return nil
+		})
+	}
+	if *scaling || *all {
+		any = true
+		run("scaling", func() error { return report.Scaling(out, c50) })
+	}
+	if *loadbalance || *all {
+		any = true
+		run("loadbalance", func() error { return report.LoadBalance(out, c50) })
+	}
+	if *weightsync || *all {
+		any = true
+		run("weightsync", func() error { return report.WeightSync(out, c50) })
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,181 @@
+// Command hftrain trains a DNN acoustic model on a synthetic speech
+// corpus with the library's optimizers: serial Hessian-free, distributed
+// Hessian-free (in-process master/worker MPI), or the SGD baseline.
+//
+// Usage:
+//
+//	hftrain -mode serial   -criterion ce  -utterances 200 -iters 10
+//	hftrain -mode dist     -ranks 5       -criterion sequence
+//	hftrain -mode sgd      -epochs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+)
+
+func main() {
+	mode := flag.String("mode", "serial", "training mode: serial, dist, sgd, async")
+	criterion := flag.String("criterion", "ce", "training criterion: ce, sequence")
+	utterances := flag.Int("utterances", 120, "number of synthetic utterances")
+	states := flag.Int("states", 8, "number of HMM states (output classes)")
+	hidden := flag.Int("hidden", 32, "hidden layer width")
+	layers := flag.Int("layers", 2, "number of hidden layers")
+	iters := flag.Int("iters", 8, "HF iterations")
+	epochs := flag.Int("epochs", 5, "SGD epochs")
+	ranks := flag.Int("ranks", 4, "MPI ranks for dist mode (1 master + N-1 workers)")
+	transport := flag.String("transport", "inproc", "dist-mode fabric: inproc or tcp (localhost)")
+	sample := flag.Float64("sample", 0.03, "curvature sample fraction")
+	seed := flag.Int64("seed", 1, "random seed")
+	precond := flag.Bool("precond", false, "use the Martens diagonal CG preconditioner")
+	save := flag.String("save", "", "write the trained model checkpoint to this path")
+	load := flag.String("load", "", "resume from a model checkpoint")
+	flag.Parse()
+
+	crit := core.CrossEntropy
+	if strings.HasPrefix(*criterion, "seq") {
+		crit = core.Sequence
+	}
+
+	log.Printf("generating corpus: %d utterances, %d states", *utterances, *states)
+	c := corpus.Generate(corpus.Config{
+		Seed:          *seed,
+		NumUtterances: *utterances,
+		MeanSeconds:   1.0,
+		FeatDim:       20,
+		Context:       2,
+		NumStates:     *states,
+	})
+	train, held := c.Split(10)
+	log.Printf("train: %d utterances / %d frames; held-out: %d utterances / %d frames",
+		len(train.Utts), train.TotalFrames(), len(held.Utts), held.TotalFrames())
+
+	sizes := []int{c.InputDim()}
+	for l := 0; l < *layers; l++ {
+		sizes = append(sizes, *hidden)
+	}
+	sizes = append(sizes, *states)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(sizes...),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      crit,
+		SampleFraction: *sample,
+		Seed:           *seed,
+	}
+	hfCfg := hf.Config{
+		MaxIterations:     *iters,
+		UsePreconditioner: *precond,
+		Log: func(s hf.IterStats) {
+			log.Printf("iter %2d: loss=%.4f λ=%.3g cg=%d α=%.2f accepted=%v",
+				s.Iter, s.Loss, s.Lambda, s.CGIters, s.Alpha, s.Accepted)
+		},
+	}
+
+	switch *mode {
+	case "serial":
+		obj, err := core.NewSerialObjective(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *load != "" {
+			ck, err := core.LoadCheckpoint(*load)
+			if err != nil {
+				log.Fatal(err)
+			}
+			obj.SetParams(ck.Params)
+			log.Printf("resumed from %s (iteration %d, held-out loss %.4f)", *load, ck.Iteration, ck.HeldOutLoss)
+		}
+		res := hf.Optimize(obj, hfCfg)
+		fmt.Printf("serial HF (%s): final held-out loss %.4f, frame accuracy %.1f%%, %d CG iterations total\n",
+			crit, res.FinalLoss, obj.HeldOutAccuracy()*100, res.TotalCGIters)
+		if *save != "" {
+			ck := &core.Checkpoint{
+				Sizes:       prob.Topo.Sizes,
+				Params:      obj.Params(),
+				Criterion:   crit,
+				Trans:       prob.Trans,
+				Iteration:   len(res.Iters),
+				HeldOutLoss: res.FinalLoss,
+			}
+			if err := core.SaveCheckpoint(*save, ck); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("checkpoint written to %s", *save)
+		}
+	case "dist":
+		var res *core.MasterResult
+		var err error
+		switch *transport {
+		case "inproc":
+			res, err = core.TrainDistributedHF(prob, hfCfg, *ranks, nil)
+		case "tcp":
+			res, err = trainOverTCP(prob, hfCfg, *ranks)
+		default:
+			log.Fatalf("unknown transport %q (want inproc, tcp)", *transport)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("distributed HF (%s, %d ranks, %s): final held-out loss %.4f, frame accuracy %.1f%%\n",
+			crit, *ranks, *transport, res.HF.FinalLoss, res.HeldOutAccuracy*100)
+	case "async":
+		res, err := core.TrainAsyncSGD(prob, core.AsyncSGDConfig{Epochs: *epochs, Seed: *seed}, *ranks, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("async SGD (%s, %d ranks): %d updates, held-out loss %.4f, frame accuracy %.1f%%\n",
+			crit, *ranks, res.Updates, res.HeldOutLoss, res.HeldOutAccuracy*100)
+	case "sgd":
+		obj, res, err := core.TrainSGD(prob, core.SGDConfig{Epochs: *epochs, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range res.Epochs {
+			log.Printf("epoch %d: train=%.4f held-out=%.4f lr=%.3g",
+				e.Epoch, e.TrainLoss, e.HeldOutLoss, e.LearningRate)
+		}
+		fmt.Printf("SGD (%s): final held-out loss %.4f, frame accuracy %.1f%%\n",
+			crit, res.FinalLoss, obj.HeldOutAccuracy()*100)
+	default:
+		log.Fatalf("unknown mode %q (want serial, dist, sgd, async)", *mode)
+	}
+}
+
+// trainOverTCP runs the master and workers over a localhost TCP fabric —
+// the same code path a true multi-process deployment uses, exercised inside
+// one process for convenience.
+func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int) (*core.MasterResult, error) {
+	transports, err := mpi.ConnectTCPLocal(ranks)
+	if err != nil {
+		return nil, err
+	}
+	workerErrs := make(chan error, ranks-1)
+	for r := 1; r < ranks; r++ {
+		go func(r int) {
+			comm := mpi.NewComm(transports[r])
+			defer comm.Close()
+			workerErrs <- core.RunWorker(comm)
+		}(r)
+	}
+	master := mpi.NewComm(transports[0])
+	defer master.Close()
+	res, err := core.RunMaster(master, prob, cfg, nil)
+	for r := 1; r < ranks; r++ {
+		if werr := <-workerErrs; werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

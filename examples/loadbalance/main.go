@@ -1,0 +1,64 @@
+// Loadbalance: demonstrate §V-C — why sorting utterances and assigning
+// equal frame counts per worker matters. Shows the balance statistics of
+// both partitioners on a real synthetic corpus, verifies the effect with
+// an actual distributed training run, and projects the impact at paper
+// scale with the BG/Q simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Balance statistics at increasing worker counts: the imbalance of
+	// naive round-robin grows; sorted-greedy stays ≈1.
+	lengths := corpus.GenerateLengths(corpus.Config{Seed: 5, NumUtterances: 20000})
+	utts := corpus.UtterancesFromLengths(lengths)
+	fmt.Println("partition imbalance (max worker frames / mean), 20k utterances:")
+	fmt.Printf("%-10s %14s %14s\n", "workers", "round-robin", "sorted-greedy")
+	for _, w := range []int{8, 64, 512, 2048} {
+		rr := corpus.MeasureBalance(corpus.RoundRobin{}.Partition(utts, w))
+		sg := corpus.MeasureBalance(corpus.SortedGreedy{}.Partition(utts, w))
+		fmt.Printf("%-10d %14.4f %14.4f\n", w, rr.Imbalance, sg.Imbalance)
+	}
+
+	// A real distributed run under both partitioners: identical results
+	// (the data is the same), but the imbalanced run makes the master wait
+	// for stragglers; at this tiny scale we verify correctness is
+	// unaffected.
+	c := corpus.Generate(corpus.Config{Seed: 6, NumUtterances: 80, MeanSeconds: 0.5, FeatDim: 12, Context: 1, NumStates: 6})
+	train, held := c.Split(8)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 1,
+		Seed:           2,
+	}
+	fmt.Println("\nreal distributed runs (4 ranks):")
+	for _, part := range []corpus.Partitioner{corpus.RoundRobin{}, corpus.SortedGreedy{}} {
+		res, err := core.TrainDistributedHF(prob, hf.Config{MaxIterations: 4}, 4, part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s held-out loss %.4f, accuracy %.1f%%\n",
+			part.Name(), res.HF.FinalLoss, res.HeldOutAccuracy*100)
+	}
+
+	// Paper-scale projection: feed each partitioner's frame distribution
+	// into the BG/Q simulator.
+	fmt.Println()
+	if err := report.LoadBalance(os.Stdout, workload.Preset50h(false)); err != nil {
+		log.Fatal(err)
+	}
+}

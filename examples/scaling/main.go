@@ -1,0 +1,34 @@
+// Scaling: replay the paper's 50-hour training run on the modeled Blue
+// Gene/Q across rank counts and configurations, printing the Figure 1(a)
+// sweep and the rank-scaling curve, plus the Table I machine comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	counts := workload.Preset50h(false)
+
+	if err := report.Fig1(os.Stdout, counts, false,
+		"Figure 1(a) sweep: 50-hour cross-entropy training on Blue Gene/Q"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := report.Scaling(os.Stdout, counts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	rows, err := report.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.WriteTable1(os.Stdout, rows)
+	fmt.Println("\n(the simulator replays the real trainer's algorithm structure on")
+	fmt.Println(" modeled BG/Q and Intel-cluster hardware; see DESIGN.md §2)")
+}

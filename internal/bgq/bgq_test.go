@@ -1,0 +1,217 @@
+package bgq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/torus"
+)
+
+func TestConfigBasics(t *testing.T) {
+	c := Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}
+	if c.Label() != "4096-4-16" {
+		t.Fatalf("label %q", c.Label())
+	}
+	if c.Nodes() != 1024 {
+		t.Fatalf("nodes %d", c.Nodes())
+	}
+	m := BlueGeneQ()
+	if c.CoresPerRank(m) != 4 {
+		t.Fatalf("cores/rank %v", c.CoresPerRank(m))
+	}
+	if c.ThreadsPerCore(m) != 4 {
+		t.Fatalf("threads/core %v", c.ThreadsPerCore(m))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	m := BlueGeneQ()
+	good := []Config{
+		{1024, 1, 64}, {2048, 2, 32}, {4096, 4, 16}, {8192, 4, 16}, {1024, 1, 16},
+	}
+	for _, c := range good {
+		if err := c.Validate(m); err != nil {
+			t.Fatalf("%s: %v", c.Label(), err)
+		}
+	}
+	bad := []Config{
+		{0, 1, 1},
+		{1024, 3, 16},  // not divisible
+		{1024, 32, 1},  // more ranks than cores
+		{1024, 1, 128}, // more threads than HW threads
+	}
+	for _, c := range bad {
+		if err := c.Validate(m); err == nil {
+			t.Fatalf("%s should be invalid", c.Label())
+		}
+	}
+}
+
+func TestPeakNodeFlops(t *testing.T) {
+	// §III: 16 cores × 12.8 GF = 204.8 GF/node.
+	m := BlueGeneQ()
+	if got := m.Node.PeakNodeFlops(); math.Abs(got-204.8e9) > 1 {
+		t.Fatalf("peak %v, want 204.8e9", got)
+	}
+}
+
+// Large-GEMM rank efficiency falls as threads per rank grow (OpenMP sync
+// overhead beats the marginal occupancy gain): the 16-thread ranks are
+// the most efficient on bulk GEMM. The end-to-end Figure 1(a) ordering —
+// where master costs and small-batch granularity pull the other way — is
+// asserted in internal/workload's TestFig1aShape.
+func TestLargeGemmEfficiencyByThreads(t *testing.T) {
+	m := BlueGeneQ()
+	e1 := m.RankEfficiency(Config{1024, 1, 64})
+	e2 := m.RankEfficiency(Config{2048, 2, 32})
+	e4 := m.RankEfficiency(Config{4096, 4, 16})
+	if !(e4 > e2 && e2 > e1) {
+		t.Fatalf("want eff(4-16) > eff(2-32) > eff(1-64), got %v %v %v", e4, e2, e1)
+	}
+}
+
+// More hardware threads per core must increase efficiency (the paper's
+// "use at least 16 threads, target 64 per node" finding).
+func TestThreadScalingMonotone(t *testing.T) {
+	m := BlueGeneQ()
+	prev := 0.0
+	for _, threads := range []int{16, 32, 64} {
+		eff := m.RankEfficiency(Config{1024, 1, threads})
+		if eff <= prev {
+			t.Fatalf("efficiency not increasing with threads: %d → %v (prev %v)", threads, eff, prev)
+		}
+		prev = eff
+	}
+}
+
+func TestGemmRateBounds(t *testing.T) {
+	m := BlueGeneQ()
+	c := Config{4096, 4, 16}
+	rate := m.GemmRate(c)
+	peak := c.CoresPerRank(m) * m.Node.FlopsPerCycPerCore * m.Node.ClockHz
+	if rate <= 0 || rate >= peak {
+		t.Fatalf("rate %v outside (0, %v)", rate, peak)
+	}
+	if rate < 0.5*peak {
+		t.Fatalf("rate %v below half peak — model too pessimistic", rate)
+	}
+}
+
+func TestScalarRateBelowGemmRate(t *testing.T) {
+	m := BlueGeneQ()
+	c := Config{4096, 4, 16}
+	if m.ScalarRate(c) >= m.GemmRate(c) {
+		t.Fatal("scalar code should be slower than SGEMM")
+	}
+}
+
+func TestIntelScalarPenaltySmallerThanBGQ(t *testing.T) {
+	// Out-of-order Xeon cores tolerate scalar code better — the reason
+	// the sequence-criterion speedup in Table I is smaller.
+	b := BlueGeneQ()
+	i := IntelXeonCluster()
+	bgqRatio := b.ScalarRate(Config{4096, 4, 16}) / b.GemmRate(Config{4096, 4, 16})
+	intelRatio := i.ScalarRate(Config{96, 2, 8}) / i.GemmRate(Config{96, 2, 8})
+	if intelRatio <= bgqRatio {
+		t.Fatalf("intel scalar/gemm %v should exceed bgq %v", intelRatio, bgqRatio)
+	}
+}
+
+func TestCycleSplitConservation(t *testing.T) {
+	m := BlueGeneQ()
+	c := Config{2048, 2, 32}
+	b := m.CycleSplit(1.5, c, false)
+	wantTotal := 1.5 * m.Node.ClockHz * c.CoresPerRank(m)
+	if math.Abs(b.Total()-wantTotal) > 1 {
+		t.Fatalf("cycles %v, want %v", b.Total(), wantTotal)
+	}
+	if b.Committed <= 0 || b.AXUStall < 0 || b.IUEmpty < 0 {
+		t.Fatalf("negative component: %+v", b)
+	}
+	// Scalar code commits a smaller share.
+	s := m.CycleSplit(1.5, c, true)
+	if s.Committed >= b.Committed {
+		t.Fatal("scalar committed share should be below GEMM share")
+	}
+}
+
+func TestCycleBreakdownAdd(t *testing.T) {
+	a := CycleBreakdown{1, 2, 3}
+	a.Add(CycleBreakdown{10, 20, 30})
+	if a.Committed != 11 || a.AXUStall != 22 || a.IUEmpty != 33 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+}
+
+func TestBGQCollectivesPartitionSizeIndependent(t *testing.T) {
+	m := BlueGeneQ()
+	shape1, _ := torus.ShapeFor(1024)
+	shape8, _ := torus.ShapeFor(2048)
+	t1 := m.BcastTime(40e6, Config{1024, 1, 64}, shape1)
+	t8 := m.BcastTime(40e6, Config{8192, 4, 16}, shape8)
+	// Hardware collectives: only the diameter term grows; within 5%.
+	if t8 > 1.05*t1 {
+		t.Fatalf("BG/Q bcast should be nearly partition-size independent: %v vs %v", t1, t8)
+	}
+}
+
+func TestIntelCollectivesGrowWithRanks(t *testing.T) {
+	m := IntelXeonCluster()
+	var shape torus.Shape
+	t16 := m.BcastTime(40e6, Config{16, 2, 8}, shape)
+	t96 := m.BcastTime(40e6, Config{96, 2, 8}, shape)
+	if t96 <= t16 {
+		t.Fatalf("software tree bcast must grow with ranks: %v vs %v", t16, t96)
+	}
+}
+
+func TestReduceSlowerThanBcast(t *testing.T) {
+	m := BlueGeneQ()
+	shape, _ := torus.ShapeFor(1024)
+	c := Config{1024, 1, 64}
+	if m.ReduceTime(1e6, c, shape) <= m.BcastTime(1e6, c, shape) {
+		t.Fatal("reduce should cost more than bcast")
+	}
+}
+
+func TestP2PAndInjection(t *testing.T) {
+	m := BlueGeneQ()
+	small := m.P2PTime(8, 1)
+	big := m.P2PTime(1<<20, 1)
+	if big <= small {
+		t.Fatal("p2p time must grow with size")
+	}
+	far := m.P2PTime(8, 11)
+	if far <= small {
+		t.Fatal("p2p time must grow with hops")
+	}
+	if m.InjectionTime(2e9) != 1 {
+		t.Fatalf("injection of 2 GB at 2 GB/s should be 1 s, got %v", m.InjectionTime(2e9))
+	}
+}
+
+// §VIII: "Blue Gene/Q is also a leader in energy efficiency" — the
+// modeled GFLOPS/W must clearly exceed the Xeon cluster's.
+func TestEnergyEfficiencyClaim(t *testing.T) {
+	bg := BlueGeneQ()
+	intel := IntelXeonCluster()
+	bgEff := bg.GFlopsPerWatt(Config{4096, 4, 16})
+	intelEff := intel.GFlopsPerWatt(Config{96, 2, 8})
+	if bgEff <= 1.5*intelEff {
+		t.Fatalf("BG/Q %v GF/W should clearly beat Intel %v GF/W", bgEff, intelEff)
+	}
+	if bgEff < 1 || bgEff > 3 {
+		t.Fatalf("BG/Q GF/W %v outside the plausible 1-3 range of the era", bgEff)
+	}
+}
+
+func TestEnergyKWh(t *testing.T) {
+	m := BlueGeneQ()
+	c := Config{1024, 1, 64} // one rack
+	// One rack for one hour at 78 W/node ≈ 79.9 kWh.
+	got := m.EnergyKWh(c, 3600)
+	want := 78.0 * 1024 / 1000
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy %v, want %v", got, want)
+	}
+}

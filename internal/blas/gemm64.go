@@ -1,0 +1,239 @@
+package blas
+
+import (
+	"fmt"
+)
+
+// Double-precision GEMM. The paper notes (§II-B) that conventional HPC
+// tuning targets DGEMM while DNN training is SGEMM-bound; Gemm64 exists
+// for the comparison benchmarks and for callers needing float64 linear
+// algebra. It uses the same Goto-style blocked algorithm with a 4×4
+// register tile (float64 doubles the register footprint).
+
+// Matrix64 is a dense row-major float64 matrix.
+type Matrix64 struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// NewMatrix64 returns a zeroed r×c matrix.
+func NewMatrix64(r, c int) *Matrix64 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("blas: invalid dimensions %d×%d", r, c))
+	}
+	return &Matrix64{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix64) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix64) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i sharing storage with the matrix.
+func (m *Matrix64) Row(i int) []float64 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+const (
+	mr64 = 4
+	nr64 = 4
+)
+
+// Gemm64 computes C = alpha·op(A)·op(B) + beta·C in double precision.
+func Gemm64(tA, tB Transpose, alpha float64, a, b *Matrix64, beta float64, c *Matrix64) {
+	m, k := opDims64(a, tA)
+	k2, n := opDims64(b, tB)
+	if k != k2 {
+		panic(fmt.Sprintf("blas: Gemm64 inner dimensions %d vs %d", k, k2))
+	}
+	if c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("blas: Gemm64 output %d×%d, want %d×%d", c.Rows, c.Cols, m, n))
+	}
+	switch beta {
+	case 1:
+	case 0:
+		for i := 0; i < m; i++ {
+			row := c.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	default:
+		for i := 0; i < m; i++ {
+			row := c.Row(i)
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	if m == 0 || n == 0 || k == 0 || alpha == 0 {
+		return
+	}
+
+	// Half the float32 block sizes keep the same cache footprint.
+	const mc, kc, nc = 64, 128, 256
+	abuf := make([]float64, roundUp(mc, mr64)*kc)
+	bbuf := make([]float64, kc*roundUp(nc, nr64))
+	for jc := 0; jc < n; jc += nc {
+		ncb := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kcb := min(kc, k-pc)
+			packB64(b, tB, pc, jc, kcb, ncb, bbuf)
+			for ic := 0; ic < m; ic += mc {
+				mcb := min(mc, m-ic)
+				packA64(a, tA, ic, pc, mcb, kcb, abuf)
+				macroKernel64(abuf, bbuf, c, ic, jc, mcb, ncb, kcb, alpha)
+			}
+		}
+	}
+}
+
+// Gemm64Naive is the unblocked reference used by tests and the DGEMM
+// baseline benchmark.
+func Gemm64Naive(tA, tB Transpose, alpha float64, a, b *Matrix64, beta float64, c *Matrix64) {
+	m, k := opDims64(a, tA)
+	_, n := opDims64(b, tB)
+	at := func(i, p int) float64 {
+		if tA == Trans {
+			return a.Data[p*a.Stride+i]
+		}
+		return a.Data[i*a.Stride+p]
+	}
+	bt := func(p, j int) float64 {
+		if tB == Trans {
+			return b.Data[j*b.Stride+p]
+		}
+		return b.Data[p*b.Stride+j]
+	}
+	for i := 0; i < m; i++ {
+		crow := c.Row(i)
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			crow[j] = alpha*s + beta*crow[j]
+		}
+	}
+}
+
+func opDims64(x *Matrix64, t Transpose) (rows, cols int) {
+	if t == Trans {
+		return x.Cols, x.Rows
+	}
+	return x.Rows, x.Cols
+}
+
+func packA64(a *Matrix64, tA Transpose, i0, p0, mc, kc int, buf []float64) {
+	for ip := 0; ip < mc; ip += mr64 {
+		rows := min(mr64, mc-ip)
+		panel := buf[(ip/mr64)*kc*mr64:]
+		if tA == NoTrans {
+			for r := 0; r < rows; r++ {
+				src := a.Data[(i0+ip+r)*a.Stride+p0:]
+				for p := 0; p < kc; p++ {
+					panel[p*mr64+r] = src[p]
+				}
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				src := a.Data[(p0+p)*a.Stride+i0+ip:]
+				copy(panel[p*mr64:p*mr64+rows], src[:rows])
+			}
+		}
+		if rows < mr64 {
+			for p := 0; p < kc; p++ {
+				for r := rows; r < mr64; r++ {
+					panel[p*mr64+r] = 0
+				}
+			}
+		}
+	}
+}
+
+func packB64(b *Matrix64, tB Transpose, p0, j0, kc, nc int, buf []float64) {
+	for jp := 0; jp < nc; jp += nr64 {
+		cols := min(nr64, nc-jp)
+		panel := buf[(jp/nr64)*kc*nr64:]
+		if tB == NoTrans {
+			for p := 0; p < kc; p++ {
+				src := b.Data[(p0+p)*b.Stride+j0+jp:]
+				copy(panel[p*nr64:p*nr64+cols], src[:cols])
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				src := b.Data[(j0+jp+j)*b.Stride+p0:]
+				for p := 0; p < kc; p++ {
+					panel[p*nr64+j] = src[p]
+				}
+			}
+		}
+		if cols < nr64 {
+			for p := 0; p < kc; p++ {
+				for j := cols; j < nr64; j++ {
+					panel[p*nr64+j] = 0
+				}
+			}
+		}
+	}
+}
+
+func macroKernel64(abuf, bbuf []float64, c *Matrix64, ic, jc, mc, nc, kc int, alpha float64) {
+	for jp := 0; jp < nc; jp += nr64 {
+		cols := min(nr64, nc-jp)
+		bpanel := bbuf[(jp/nr64)*kc*nr64:]
+		for ip := 0; ip < mc; ip += mr64 {
+			rows := min(mr64, mc-ip)
+			apanel := abuf[(ip/mr64)*kc*mr64:]
+			coff := (ic+ip)*c.Stride + jc + jp
+			microKernel4x4(kc, apanel, bpanel, c.Data[coff:], c.Stride, rows, cols, alpha)
+		}
+	}
+}
+
+// microKernel4x4 updates a 4×4 double-precision tile with rank-1 updates
+// over the packed panels; partial tiles write back only the live region.
+func microKernel4x4(kc int, ap, bp []float64, c []float64, ldc, rows, cols int, alpha float64) {
+	var (
+		c00, c01, c02, c03 float64
+		c10, c11, c12, c13 float64
+		c20, c21, c22, c23 float64
+		c30, c31, c32, c33 float64
+	)
+	ap = ap[:kc*mr64]
+	bp = bp[:kc*nr64]
+	for p := 0; p < kc; p++ {
+		b := bp[p*nr64 : p*nr64+nr64 : p*nr64+nr64]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		a := ap[p*mr64 : p*mr64+mr64 : p*mr64+mr64]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc := [mr64][nr64]float64{
+		{c00, c01, c02, c03},
+		{c10, c11, c12, c13},
+		{c20, c21, c22, c23},
+		{c30, c31, c32, c33},
+	}
+	for r := 0; r < rows; r++ {
+		for j := 0; j < cols; j++ {
+			c[r*ldc+j] += alpha * acc[r][j]
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix64(rng *rand.Rand, r, c int) *Matrix64 {
+	m := NewMatrix64(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func gemm64Equal(a, b *Matrix64, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if math.Abs(ra[j]-rb[j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func clone64(m *Matrix64) *Matrix64 {
+	out := NewMatrix64(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+func TestGemm64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {33, 29, 31}, {65, 70, 66}, {1, 50, 50}, {50, 1, 50}}
+	for _, tA := range []Transpose{NoTrans, Trans} {
+		for _, tB := range []Transpose{NoTrans, Trans} {
+			for _, s := range shapes {
+				m, n, k := s[0], s[1], s[2]
+				var a, b *Matrix64
+				if tA == Trans {
+					a = randMatrix64(rng, k, m)
+				} else {
+					a = randMatrix64(rng, m, k)
+				}
+				if tB == Trans {
+					b = randMatrix64(rng, n, k)
+				} else {
+					b = randMatrix64(rng, k, n)
+				}
+				c := randMatrix64(rng, m, n)
+				want := clone64(c)
+				Gemm64Naive(tA, tB, 1.5, a, b, 0.5, want)
+				got := clone64(c)
+				Gemm64(tA, tB, 1.5, a, b, 0.5, got)
+				if !gemm64Equal(got, want, 1e-10*float64(k+1)) {
+					t.Fatalf("tA=%v tB=%v %v: blocked DGEMM differs from naive", tA, tB, s)
+				}
+			}
+		}
+	}
+}
+
+func TestGemm64AlphaBetaEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix64(rng, 8, 8)
+	b := randMatrix64(rng, 8, 8)
+	c := randMatrix64(rng, 8, 8)
+	// alpha=0, beta=0 → C must be zeroed.
+	z := clone64(c)
+	Gemm64(NoTrans, NoTrans, 0, a, b, 0, z)
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Fatal("alpha=0,beta=0 must zero C")
+		}
+	}
+	// beta=1 accumulates.
+	acc := clone64(c)
+	Gemm64(NoTrans, NoTrans, 1, a, b, 1, acc)
+	want := clone64(c)
+	Gemm64Naive(NoTrans, NoTrans, 1, a, b, 1, want)
+	if !gemm64Equal(acc, want, 1e-12) {
+		t.Fatal("beta=1 accumulation wrong")
+	}
+}
+
+func TestGemm64DimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm64(NoTrans, NoTrans, 1, NewMatrix64(2, 3), NewMatrix64(4, 5), 0, NewMatrix64(2, 5))
+}
+
+func TestGemm64OutputShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm64(NoTrans, NoTrans, 1, NewMatrix64(2, 3), NewMatrix64(3, 5), 0, NewMatrix64(3, 5))
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ within tolerance.
+func TestGemm64TransposeIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(nSeed uint8) bool {
+		n := int(nSeed%12) + 1
+		a := randMatrix64(rng, n, n)
+		b := randMatrix64(rng, n, n)
+		ab := NewMatrix64(n, n)
+		Gemm64(NoTrans, NoTrans, 1, a, b, 0, ab)
+		btat := NewMatrix64(n, n)
+		Gemm64(Trans, Trans, 1, b, a, 0, btat) // bᵀaᵀ = (ab)ᵀ
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(ab.At(i, j)-btat.At(j, i)) > 1e-10*float64(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §II-B comparison: single precision moves twice the elements per
+// byte, so the SGEMM kernel should outrun DGEMM at the same dimensions.
+func BenchmarkDGEMMBlocked256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix64(rng, 256, 256)
+	y := randMatrix64(rng, 256, 256)
+	c := NewMatrix64(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm64(NoTrans, NoTrans, 1, x, y, 0, c)
+	}
+	flops := 2.0 * 256 * 256 * 256
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkDGEMMNaive256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix64(rng, 256, 256)
+	y := randMatrix64(rng, 256, 256)
+	c := NewMatrix64(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm64Naive(NoTrans, NoTrans, 1, x, y, 0, c)
+	}
+	flops := 2.0 * 256 * 256 * 256
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}

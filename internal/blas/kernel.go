@@ -1,0 +1,285 @@
+package blas
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Register-tile dimensions of the micro-kernel. The paper's BG/Q inner
+// kernel updates an 8×8 C tile with QPX outer products; in portable Go an
+// 8×4 tile keeps all 32 accumulators in registers on amd64/arm64.
+const (
+	mr = 8
+	nr = 4
+)
+
+// gemmBlocked runs the packed, cache-blocked algorithm with the given
+// number of worker goroutines cooperating on each packed B panel.
+func gemmBlocked(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matrix, beta float32, c *tensor.Matrix, threads int) {
+	m, k := opDims(a, tA)
+	_, n := opDims(b, tB)
+	scaleC(beta, c)
+	if m == 0 || n == 0 || k == 0 || alpha == 0 {
+		return
+	}
+
+	mc, kc, nc := cfg.MC, cfg.KC, cfg.NC
+	bbuf := make([]float32, kc*roundUp(nc, nr))
+	nWorkers := threads
+	if blocks := (m + mc - 1) / mc; nWorkers > blocks {
+		nWorkers = blocks
+	}
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	abufs := make([][]float32, nWorkers)
+	for w := range abufs {
+		abufs[w] = make([]float32, roundUp(mc, mr)*kc)
+	}
+
+	for jc := 0; jc < n; jc += nc {
+		ncb := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kcb := min(kc, k-pc)
+			packB(b, tB, pc, jc, kcb, ncb, bbuf)
+
+			if nWorkers == 1 {
+				for ic := 0; ic < m; ic += mc {
+					mcb := min(mc, m-ic)
+					packA(a, tA, ic, pc, mcb, kcb, abufs[0])
+					macroKernel(abufs[0], bbuf, c, ic, jc, mcb, ncb, kcb, alpha)
+				}
+				continue
+			}
+			// The MC blocks of A are independent: fan them out across
+			// workers that share the packed B panel, the analogue of the
+			// paper's threads cooperating on a shared operand stream.
+			var wg sync.WaitGroup
+			blockCh := make(chan int)
+			for w := 0; w < nWorkers; w++ {
+				wg.Add(1)
+				go func(abuf []float32) {
+					defer wg.Done()
+					for ic := range blockCh {
+						mcb := min(mc, m-ic)
+						packA(a, tA, ic, pc, mcb, kcb, abuf)
+						macroKernel(abuf, bbuf, c, ic, jc, mcb, ncb, kcb, alpha)
+					}
+				}(abufs[w])
+			}
+			for ic := 0; ic < m; ic += mc {
+				blockCh <- ic
+			}
+			close(blockCh)
+			wg.Wait()
+		}
+	}
+}
+
+// packA copies the mc×kc block of op(A) at (i0, p0) into panels of mr rows
+// in k-major order, zero-padding the final partial panel. The packed
+// layout guarantees stride-one access in the micro-kernel, the portable
+// equivalent of the paper's reformatting of A for the L1P prefetch engine.
+func packA(a *tensor.Matrix, tA Transpose, i0, p0, mc, kc int, buf []float32) {
+	for ip := 0; ip < mc; ip += mr {
+		rows := min(mr, mc-ip)
+		panel := buf[(ip/mr)*kc*mr:]
+		if tA == NoTrans {
+			for r := 0; r < rows; r++ {
+				src := a.Data[(i0+ip+r)*a.Stride+p0:]
+				for p := 0; p < kc; p++ {
+					panel[p*mr+r] = src[p]
+				}
+			}
+		} else {
+			// op(A)[i][p] = A[p][i]: walk A rows (p) contiguously.
+			for p := 0; p < kc; p++ {
+				src := a.Data[(p0+p)*a.Stride+i0+ip:]
+				dst := panel[p*mr : p*mr+rows]
+				copy(dst, src[:rows])
+			}
+		}
+		if rows < mr {
+			for p := 0; p < kc; p++ {
+				for r := rows; r < mr; r++ {
+					panel[p*mr+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc block of op(B) at (p0, j0) into panels of nr
+// columns in k-major order, zero-padding the final partial panel.
+func packB(b *tensor.Matrix, tB Transpose, p0, j0, kc, nc int, buf []float32) {
+	for jp := 0; jp < nc; jp += nr {
+		cols := min(nr, nc-jp)
+		panel := buf[(jp/nr)*kc*nr:]
+		if tB == NoTrans {
+			for p := 0; p < kc; p++ {
+				src := b.Data[(p0+p)*b.Stride+j0+jp:]
+				dst := panel[p*nr : p*nr+cols]
+				copy(dst, src[:cols])
+			}
+		} else {
+			// op(B)[p][j] = B[j][p]: walk B rows (j) contiguously.
+			for j := 0; j < cols; j++ {
+				src := b.Data[(j0+jp+j)*b.Stride+p0:]
+				for p := 0; p < kc; p++ {
+					panel[p*nr+j] = src[p]
+				}
+			}
+		}
+		if cols < nr {
+			for p := 0; p < kc; p++ {
+				for j := cols; j < nr; j++ {
+					panel[p*nr+j] = 0
+				}
+			}
+		}
+	}
+}
+
+// macroKernel multiplies the packed mc×kc A block by the packed kc×nc B
+// panel, accumulating alpha times the product into C at (ic, jc).
+func macroKernel(abuf, bbuf []float32, c *tensor.Matrix, ic, jc, mc, nc, kc int, alpha float32) {
+	for jp := 0; jp < nc; jp += nr {
+		cols := min(nr, nc-jp)
+		bpanel := bbuf[(jp/nr)*kc*nr:]
+		for ip := 0; ip < mc; ip += mr {
+			rows := min(mr, mc-ip)
+			apanel := abuf[(ip/mr)*kc*mr:]
+			coff := (ic+ip)*c.Stride + jc + jp
+			if rows == mr && cols == nr {
+				microKernel8x4(kc, apanel, bpanel, c.Data[coff:], c.Stride, alpha)
+			} else {
+				microKernelEdge(kc, apanel, bpanel, c.Data[coff:], c.Stride, rows, cols, alpha)
+			}
+		}
+	}
+}
+
+// microKernel8x4 is the register-blocked inner kernel: C8×4 += alpha·A8×kc·Bkc×4
+// as a sequence of rank-1 updates over the packed panels, mirroring the
+// paper's outer-product formulation. All 32 accumulators live in locals so
+// the compiler can keep them in registers.
+func microKernel8x4(kc int, ap, bp []float32, c []float32, ldc int, alpha float32) {
+	var (
+		c00, c01, c02, c03 float32
+		c10, c11, c12, c13 float32
+		c20, c21, c22, c23 float32
+		c30, c31, c32, c33 float32
+		c40, c41, c42, c43 float32
+		c50, c51, c52, c53 float32
+		c60, c61, c62, c63 float32
+		c70, c71, c72, c73 float32
+	)
+	ap = ap[:kc*mr]
+	bp = bp[:kc*nr]
+	for p := 0; p < kc; p++ {
+		b := bp[p*nr : p*nr+nr : p*nr+nr]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		a := ap[p*mr : p*mr+mr : p*mr+mr]
+		a0, a1, a2, a3, a4, a5, a6, a7 := a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		c40 += a4 * b0
+		c41 += a4 * b1
+		c42 += a4 * b2
+		c43 += a4 * b3
+		c50 += a5 * b0
+		c51 += a5 * b1
+		c52 += a5 * b2
+		c53 += a5 * b3
+		c60 += a6 * b0
+		c61 += a6 * b1
+		c62 += a6 * b2
+		c63 += a6 * b3
+		c70 += a7 * b0
+		c71 += a7 * b1
+		c72 += a7 * b2
+		c73 += a7 * b3
+	}
+	row := c[0*ldc : 0*ldc+nr]
+	row[0] += alpha * c00
+	row[1] += alpha * c01
+	row[2] += alpha * c02
+	row[3] += alpha * c03
+	row = c[1*ldc : 1*ldc+nr]
+	row[0] += alpha * c10
+	row[1] += alpha * c11
+	row[2] += alpha * c12
+	row[3] += alpha * c13
+	row = c[2*ldc : 2*ldc+nr]
+	row[0] += alpha * c20
+	row[1] += alpha * c21
+	row[2] += alpha * c22
+	row[3] += alpha * c23
+	row = c[3*ldc : 3*ldc+nr]
+	row[0] += alpha * c30
+	row[1] += alpha * c31
+	row[2] += alpha * c32
+	row[3] += alpha * c33
+	row = c[4*ldc : 4*ldc+nr]
+	row[0] += alpha * c40
+	row[1] += alpha * c41
+	row[2] += alpha * c42
+	row[3] += alpha * c43
+	row = c[5*ldc : 5*ldc+nr]
+	row[0] += alpha * c50
+	row[1] += alpha * c51
+	row[2] += alpha * c52
+	row[3] += alpha * c53
+	row = c[6*ldc : 6*ldc+nr]
+	row[0] += alpha * c60
+	row[1] += alpha * c61
+	row[2] += alpha * c62
+	row[3] += alpha * c63
+	row = c[7*ldc : 7*ldc+nr]
+	row[0] += alpha * c70
+	row[1] += alpha * c71
+	row[2] += alpha * c72
+	row[3] += alpha * c73
+}
+
+// microKernelEdge handles partial tiles at the matrix fringe. The packed
+// panels are zero-padded, so it computes the full mr×nr product and writes
+// back only the rows×cols region that exists in C. This is the "matrices
+// with dimensions that do not lend themselves to full SIMDization" case
+// the paper tunes for.
+func microKernelEdge(kc int, ap, bp []float32, c []float32, ldc, rows, cols int, alpha float32) {
+	var acc [mr * nr]float32
+	for p := 0; p < kc; p++ {
+		b := bp[p*nr : p*nr+nr]
+		a := ap[p*mr : p*mr+mr]
+		for r := 0; r < mr; r++ {
+			ar := a[r]
+			acc[r*nr+0] += ar * b[0]
+			acc[r*nr+1] += ar * b[1]
+			acc[r*nr+2] += ar * b[2]
+			acc[r*nr+3] += ar * b[3]
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for j := 0; j < cols; j++ {
+			c[r*ldc+j] += alpha * acc[r*nr+j]
+		}
+	}
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }

@@ -1,0 +1,70 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level-1 routines operate on raw float32 slices. They back the vector
+// arithmetic of the CG loop and the elementwise stages of backpropagation.
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Dot returns xᵀy accumulated in float64; CG's α and β recurrences are
+// sensitive to the accuracy of these reductions.
+func Dot(x, y []float32) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += float64(v) * float64(y[i])
+	}
+	return s
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x.
+func Nrm2(x []float32) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Asum returns the sum of absolute values of x.
+func Asum(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// Copy copies x into y.
+func Copy(x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Copy length mismatch %d vs %d", len(x), len(y)))
+	}
+	copy(y, x)
+}
+
+// Axpby computes y = alpha*x + beta*y, the fused update used by the CG
+// direction recurrence p = r + beta*p.
+func Axpby(alpha float32, x []float32, beta float32, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Axpby length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] = alpha*v + beta*y[i]
+	}
+}

@@ -1,0 +1,33 @@
+package blas
+
+import "repro/internal/tensor"
+
+// gemmNaive is the unblocked reference implementation. It is the oracle
+// for the optimized kernels' tests and the baseline for the §V-A ablation
+// benchmarks.
+func gemmNaive(tA, tB Transpose, alpha float32, a, b *tensor.Matrix, beta float32, c *tensor.Matrix) {
+	m, k := opDims(a, tA)
+	_, n := opDims(b, tB)
+	at := func(i, p int) float32 {
+		if tA == Trans {
+			return a.Data[p*a.Stride+i]
+		}
+		return a.Data[i*a.Stride+p]
+	}
+	bt := func(p, j int) float32 {
+		if tB == Trans {
+			return b.Data[j*b.Stride+p]
+		}
+		return b.Data[p*b.Stride+j]
+	}
+	for i := 0; i < m; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+n]
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			crow[j] = alpha*s + beta*crow[j]
+		}
+	}
+}

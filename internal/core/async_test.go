@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAsyncSGDTrains(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	res, err := TrainAsyncSGD(p, AsyncSGDConfig{Epochs: 4, LearningRate: 0.3, BatchFrames: 64, Seed: 1}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no gradient pushes applied")
+	}
+	if res.HeldOutLoss >= math.Log(6) {
+		t.Fatalf("async SGD stayed at chance: %v", res.HeldOutLoss)
+	}
+	if res.HeldOutAccuracy < 0.3 {
+		t.Fatalf("async SGD accuracy %v", res.HeldOutAccuracy)
+	}
+	if len(res.Params) != p.Topo.NumParams() {
+		t.Fatalf("params length %d", len(res.Params))
+	}
+}
+
+func TestAsyncSGDStalenessStillConverges(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	// Very stale parameters (pull rarely): training must still make
+	// progress, the core robustness claim of asynchronous SGD.
+	res, err := TrainAsyncSGD(p, AsyncSGDConfig{Epochs: 4, LearningRate: 0.2, BatchFrames: 64, FetchEvery: 32, Seed: 2}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeldOutLoss >= math.Log(6) {
+		t.Fatalf("stale async SGD stayed at chance: %v", res.HeldOutLoss)
+	}
+}
+
+func TestAsyncSGDMultipleWorkerCounts(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	for _, ranks := range []int{2, 5} {
+		res, err := TrainAsyncSGD(p, AsyncSGDConfig{Epochs: 3, LearningRate: 0.3, BatchFrames: 64, Seed: 3}, ranks, nil)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if res.HeldOutLoss >= math.Log(6) {
+			t.Fatalf("ranks=%d: loss %v at chance", ranks, res.HeldOutLoss)
+		}
+	}
+}
+
+func TestAsyncSGDSequenceCriterion(t *testing.T) {
+	p := testProblem(t, Sequence)
+	res, err := TrainAsyncSGD(p, AsyncSGDConfig{Epochs: 2, LearningRate: 0.05, Seed: 4}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.HeldOutLoss) || res.HeldOutLoss > 10 {
+		t.Fatalf("sequence async SGD diverged: %v", res.HeldOutLoss)
+	}
+}
+
+func TestAsyncSGDBadRanks(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	if _, err := TrainAsyncSGD(p, AsyncSGDConfig{}, 1, nil); err == nil {
+		t.Fatal("1 rank must fail")
+	}
+}
+
+func TestAsyncMasterOnWorkerRankFails(t *testing.T) {
+	// Direct API misuse must error cleanly.
+	p := testProblem(t, CrossEntropy)
+	fab := newTestFabric(2)
+	defer fab.Close()
+	if _, err := RunAsyncMaster(newTestComm(fab, 1), p, AsyncSGDConfig{}, nil); err == nil {
+		t.Fatal("RunAsyncMaster on rank 1 must fail")
+	}
+	if err := RunAsyncWorker(newTestComm(fab, 0), AsyncSGDConfig{}); err == nil {
+		t.Fatal("RunAsyncWorker on rank 0 must fail")
+	}
+}
+
+func TestWireCodecs(t *testing.T) {
+	v := encodeF64Pair(1.5, -2)
+	var pair [2]float64
+	if err := decodeF64Pair(v, &pair); err != nil || pair[0] != 1.5 || pair[1] != -2 {
+		t.Fatalf("pair roundtrip: %v %v", pair, err)
+	}
+	if err := decodeF64Pair(v[:8], &pair); err == nil {
+		t.Fatal("short pair accepted")
+	}
+	tr := encodeF64Triple(1, 2, 3)
+	var triple [3]float64
+	if err := decodeF64Triple(tr, &triple); err != nil || triple[2] != 3 {
+		t.Fatalf("triple roundtrip: %v %v", triple, err)
+	}
+	if err := decodeF64Triple(tr[:16], &triple); err == nil {
+		t.Fatal("short triple accepted")
+	}
+	vec := encodeVec([]float32{1, -2.5})
+	out := make([]float32, 2)
+	if err := decodeInto(vec, out); err != nil || out[1] != -2.5 {
+		t.Fatalf("vec roundtrip: %v %v", out, err)
+	}
+	if err := decodeInto(vec, make([]float32, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

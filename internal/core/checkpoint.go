@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/seq"
+	"repro/internal/tensor"
+)
+
+// Checkpoint is a serializable snapshot of a trained model: enough to
+// resume training or to deploy the network for inference. The paper's
+// 20-40-iteration training runs over thousands of node-hours make
+// checkpointing a practical necessity even though the paper does not
+// discuss it.
+type Checkpoint struct {
+	// Sizes is the DNN topology.
+	Sizes []int
+	// Params is the flat parameter vector.
+	Params tensor.Vector
+	// Criterion records the training objective.
+	Criterion Criterion
+	// Trans is the sequence transition model (zero value for CE).
+	Trans seq.Transitions
+	// Iteration is the number of completed HF iterations.
+	Iteration int
+	// HeldOutLoss is the held-out loss at the checkpoint.
+	HeldOutLoss float64
+}
+
+// checkpointMagic guards against decoding unrelated gob streams.
+const checkpointMagic = "repro-hf-checkpoint-v1"
+
+// WriteCheckpoint serializes a checkpoint to w.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	topo := nn.NewTopology(ck.Sizes...)
+	if len(ck.Params) != topo.NumParams() {
+		return fmt.Errorf("core: checkpoint has %d params, topology %v needs %d",
+			len(ck.Params), ck.Sizes, topo.NumParams())
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(checkpointMagic); err != nil {
+		return fmt.Errorf("core: write checkpoint header: %w", err)
+	}
+	if err := enc.Encode(ck); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint deserializes a checkpoint from r and validates it.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	dec := gob.NewDecoder(r)
+	var magic string
+	if err := dec.Decode(&magic); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("core: not a checkpoint (header %q)", magic)
+	}
+	var ck Checkpoint
+	if err := dec.Decode(&ck); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	if len(ck.Sizes) < 2 {
+		return nil, fmt.Errorf("core: checkpoint topology %v invalid", ck.Sizes)
+	}
+	topo := nn.NewTopology(ck.Sizes...)
+	if len(ck.Params) != topo.NumParams() {
+		return nil, fmt.Errorf("core: checkpoint has %d params, topology needs %d",
+			len(ck.Params), topo.NumParams())
+	}
+	return &ck, nil
+}
+
+// SaveCheckpoint writes a checkpoint to path atomically (write to a
+// temporary file, then rename).
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteCheckpoint(bw, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(bufio.NewReader(f))
+}
+
+// NetworkFromCheckpoint reconstructs the trained network.
+func NetworkFromCheckpoint(ck *Checkpoint) *nn.Network {
+	net := nn.New(nn.NewTopology(ck.Sizes...))
+	net.SetParams(ck.Params)
+	return net
+}

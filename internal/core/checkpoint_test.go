@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func testCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	p := testProblem(t, CrossEntropy)
+	obj, res, err := TrainSerialHF(p, fastHF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Checkpoint{
+		Sizes:       p.Topo.Sizes,
+		Params:      obj.Params(),
+		Criterion:   CrossEntropy,
+		Iteration:   len(res.Iters),
+		HeldOutLoss: res.FinalLoss,
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := testCheckpoint(t)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != ck.Iteration || got.HeldOutLoss != ck.HeldOutLoss {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if !tensor.EqualApproxVec(got.Params, ck.Params, 0) {
+		t.Fatal("parameters not bit-identical after roundtrip")
+	}
+	// The reconstructed network must predict identically.
+	net := NetworkFromCheckpoint(got)
+	if net.NumParams() != len(ck.Params) {
+		t.Fatal("network reconstruction wrong")
+	}
+}
+
+func TestCheckpointFileSaveLoad(t *testing.T) {
+	ck := testCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.EqualApproxVec(got.Params, ck.Params, 0) {
+		t.Fatal("file roundtrip lost parameters")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("not a checkpoint at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A valid gob stream with the wrong magic must also fail.
+	var buf bytes.Buffer
+	ck := &Checkpoint{Sizes: []int{2, 2}, Params: make(tensor.Vector, 2*2+2)}
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[10] ^= 0xFF // corrupt
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+}
+
+func TestCheckpointValidatesShape(t *testing.T) {
+	bad := &Checkpoint{Sizes: []int{3, 2}, Params: make(tensor.Vector, 5)} // needs 3·2+2=8
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, bad); err == nil {
+		t.Fatal("shape mismatch accepted on write")
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// Resuming from a checkpoint must continue improving from the saved loss.
+func TestResumeFromCheckpoint(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	cfg := fastHF()
+	cfg.MaxIterations = 3
+	obj, res, err := TrainSerialHF(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{Sizes: p.Topo.Sizes, Params: obj.Params(), HeldOutLoss: res.FinalLoss}
+
+	// Fresh objective, parameters restored from the checkpoint.
+	obj2, err := NewSerialObjective(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2.SetParams(ck.Params)
+	if l := obj2.HeldOutLoss(obj2.Params()); l != ck.HeldOutLoss {
+		// Same data, same params → identical loss.
+		t.Fatalf("restored loss %v != saved %v", l, ck.HeldOutLoss)
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/seq"
+	"repro/internal/tensor"
+)
+
+// Master/worker protocol: the master broadcasts a 2-element command
+// [opcode, arg], then the per-op payload collectives follow. Workers loop
+// on commands until opStop. Rank 0 is always the master.
+const (
+	opSetParams float32 = 1 + iota
+	opGradient
+	opSample
+	opGNProduct
+	opHeldLoss
+	opAccuracy
+	opFisherDiag
+	opStop
+)
+
+// tagShard carries the initial point-to-point data distribution
+// (the paper's load_data phase).
+const tagShard = 9000
+
+// wireShard is the gob-encoded payload the master sends each worker
+// during load_data: the worker's data shard plus everything needed to
+// reconstruct its compute engine.
+type wireShard struct {
+	Sizes          []int // DNN topology
+	Criterion      Criterion
+	Trans          seq.Transitions
+	SampleFraction float64
+	BatchFrames    int
+	Seed           int64
+	FeatDim        int
+	Context        int
+	NumStates      int
+	TrainUtts      []*corpus.Utterance
+	HeldUtts       []*corpus.Utterance
+}
+
+// distObjective implements hf.Objective on the master by delegating all
+// data-parallel computation to the workers. The master contributes zero
+// vectors to reductions, mirroring the paper's coordinate-only master.
+type distObjective struct {
+	comm  *mpi.Comm
+	dim   int
+	theta tensor.Vector
+	err   error // first communication error; surfaces at Err()
+}
+
+func (o *distObjective) fail(err error) {
+	if err != nil && o.err == nil {
+		o.err = err
+	}
+}
+
+// Err returns the first communication error encountered, if any.
+func (o *distObjective) Err() error { return o.err }
+
+func (o *distObjective) cmd(op, arg float32) {
+	o.fail(o.comm.Bcast(0, []float32{op, arg}))
+}
+
+// Dim implements hf.Objective.
+func (o *distObjective) Dim() int { return o.dim }
+
+// Params implements hf.Objective.
+func (o *distObjective) Params() tensor.Vector { return o.theta.Clone() }
+
+// SetParams implements hf.Objective: synchronizes θ to all workers via
+// broadcast, the §V-B sync_weights path.
+func (o *distObjective) SetParams(p tensor.Vector) {
+	copy(o.theta, p)
+	o.comm.SetPhase("sync_weights")
+	o.cmd(opSetParams, 0)
+	o.fail(o.comm.Bcast(0, o.theta))
+}
+
+// Gradient implements hf.Objective: workers compute shard gradients; a
+// tree reduction combines them at the master.
+func (o *distObjective) Gradient() tensor.Vector {
+	o.comm.SetPhase("gradient_loss")
+	o.cmd(opGradient, 0)
+	grad := tensor.NewVector(o.dim)
+	o.fail(o.comm.Reduce(0, mpi.OpSum, grad))
+	stats := []float64{0, 0}
+	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
+	if stats[1] > 0 {
+		grad.Scale(float32(1 / stats[1]))
+	}
+	return grad
+}
+
+// NewCurvatureSample implements hf.Objective.
+func (o *distObjective) NewCurvatureSample(iter int) {
+	o.comm.SetPhase("cg_minimize")
+	o.cmd(opSample, float32(iter))
+}
+
+// GNProduct implements hf.Objective: broadcast the direction, reduce the
+// per-shard Gauss-Newton products — the two collectives per CG iteration
+// that dominate worker MPI time in the paper's Figure 5.
+func (o *distObjective) GNProduct(v, out tensor.Vector) {
+	o.comm.SetPhase("cg_minimize")
+	o.cmd(opGNProduct, 0)
+	o.fail(o.comm.Bcast(0, v))
+	out.Zero()
+	o.fail(o.comm.Reduce(0, mpi.OpSum, out))
+	stats := []float64{0}
+	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
+	if stats[0] > 0 {
+		out.Scale(float32(1 / stats[0]))
+	}
+}
+
+// HeldOutLoss implements hf.Objective.
+func (o *distObjective) HeldOutLoss(p tensor.Vector) float64 {
+	o.comm.SetPhase("loss_eval")
+	o.cmd(opHeldLoss, 0)
+	o.fail(o.comm.Bcast(0, p))
+	stats := []float64{0, 0}
+	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
+	if stats[1] == 0 {
+		return 0
+	}
+	return stats[0] / stats[1]
+}
+
+// CurvatureDiag implements hf.Preconditioned for the distributed
+// objective: workers sum their shard's Fisher diagonals over the current
+// curvature sample; the master normalizes and applies the Martens
+// exponent.
+func (o *distObjective) CurvatureDiag(lambda float64) tensor.Vector {
+	o.comm.SetPhase("cg_minimize")
+	o.cmd(opFisherDiag, 0)
+	diag := tensor.NewVector(o.dim)
+	o.fail(o.comm.Reduce(0, mpi.OpSum, diag))
+	stats := []float64{0}
+	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
+	frames := int(stats[0])
+	if frames < 1 {
+		frames = 1
+	}
+	return finishPreconditioner(diag, frames, lambda)
+}
+
+// heldOutAccuracy gathers frame accuracy at the current parameters.
+func (o *distObjective) heldOutAccuracy() float64 {
+	o.comm.SetPhase("loss_eval")
+	o.cmd(opAccuracy, 0)
+	stats := []float64{0, 0}
+	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
+	if stats[1] == 0 {
+		return 0
+	}
+	return stats[0] / stats[1]
+}
+
+// stop terminates the worker loops.
+func (o *distObjective) stop() {
+	o.comm.SetPhase("shutdown")
+	o.cmd(opStop, 0)
+}
+
+// MasterResult reports a distributed training run.
+type MasterResult struct {
+	// Params is the final trained parameter vector.
+	Params tensor.Vector
+	// HF is the optimizer trace.
+	HF hf.Result
+	// HeldOutAccuracy is final frame accuracy on the held-out set.
+	HeldOutAccuracy float64
+}
+
+// RunMaster drives a distributed HF training run from rank 0: it
+// partitions the data, ships shards to workers (load_data), runs the HF
+// optimizer with all heavy computation delegated to the workers, and
+// shuts the workers down. part defaults to the paper's sorted-greedy
+// equal-frame partitioner.
+func RunMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner) (*MasterResult, error) {
+	if comm.Rank() != 0 {
+		return nil, fmt.Errorf("core: RunMaster called on rank %d", comm.Rank())
+	}
+	if comm.Size() < 2 {
+		return nil, fmt.Errorf("core: distributed training needs ≥2 ranks, have %d", comm.Size())
+	}
+	p = p.filled()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if part == nil {
+		part = corpus.SortedGreedy{}
+	}
+
+	// load_data: partition utterances over workers and ship each shard
+	// point-to-point, the master-serialized phase of Figures 2/4.
+	if err := shipShards(comm, p, part); err != nil {
+		return nil, err
+	}
+
+	// The master owns θ; workers receive it by broadcast.
+	net := nn.New(p.Topo)
+	if p.InitParams != nil {
+		net.SetParams(p.InitParams)
+	} else {
+		net.InitGlorot(rand.New(rand.NewSource(p.Seed)))
+	}
+	obj := &distObjective{comm: comm, dim: net.NumParams(), theta: net.Params.Clone()}
+	obj.SetParams(obj.theta)
+
+	res := hf.Optimize(obj, cfg)
+	acc := obj.heldOutAccuracy()
+	obj.stop()
+	if err := obj.Err(); err != nil {
+		return nil, err
+	}
+	return &MasterResult{Params: obj.theta.Clone(), HF: res, HeldOutAccuracy: acc}, nil
+}
+
+// shipShards partitions the problem's data over the workers and sends
+// each worker its gob-encoded shard point-to-point (the load_data phase),
+// shared by the HF and async-SGD masters.
+func shipShards(comm *mpi.Comm, p Problem, part corpus.Partitioner) error {
+	workers := comm.Size() - 1
+	trainShards := part.Partition(p.Train.Utts, workers)
+	heldShards := part.Partition(p.Heldout.Utts, workers)
+	comm.SetPhase("load_data")
+	for w := 0; w < workers; w++ {
+		shard := wireShard{
+			Sizes:          p.Topo.Sizes,
+			Criterion:      p.Criterion,
+			Trans:          p.Trans,
+			SampleFraction: p.SampleFraction,
+			BatchFrames:    p.BatchFrames,
+			Seed:           p.Seed + int64(w+1), // per-worker sample stream
+			FeatDim:        p.Train.FeatDim,
+			Context:        p.Train.Context,
+			NumStates:      p.Train.NumStates,
+			TrainUtts:      trainShards[w],
+			HeldUtts:       heldShards[w],
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&shard); err != nil {
+			return fmt.Errorf("core: encode shard for worker %d: %w", w+1, err)
+		}
+		if err := comm.SendBytes(w+1, tagShard, buf.Bytes()); err != nil {
+			return fmt.Errorf("core: send shard to worker %d: %w", w+1, err)
+		}
+	}
+	return nil
+}
+
+// recvShard receives and decodes this worker's shard and builds its
+// compute engine.
+func recvShard(comm *mpi.Comm) (*engine, error) {
+	comm.SetPhase("load_data")
+	msg, err := comm.RecvBytes(0, tagShard)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker %d receive shard: %w", comm.Rank(), err)
+	}
+	var shard wireShard
+	if err := gob.NewDecoder(bytes.NewReader(msg.Data)).Decode(&shard); err != nil {
+		return nil, fmt.Errorf("core: worker %d decode shard: %w", comm.Rank(), err)
+	}
+	prob := Problem{
+		Topo:           nn.NewTopology(shard.Sizes...),
+		Train:          &corpus.Corpus{Utts: shard.TrainUtts, FeatDim: shard.FeatDim, NumStates: shard.NumStates, Context: shard.Context},
+		Heldout:        &corpus.Corpus{Utts: shard.HeldUtts, FeatDim: shard.FeatDim, NumStates: shard.NumStates, Context: shard.Context},
+		Criterion:      shard.Criterion,
+		Trans:          shard.Trans,
+		SampleFraction: shard.SampleFraction,
+		BatchFrames:    shard.BatchFrames,
+		Seed:           shard.Seed,
+	}
+	return newEngine(prob, shard.TrainUtts, shard.HeldUtts), nil
+}
+
+// RunWorker executes the worker command loop on a non-zero rank until the
+// master sends opStop. It receives its data shard, then serves gradient,
+// curvature-product and loss requests over collectives.
+func RunWorker(comm *mpi.Comm) error {
+	if comm.Rank() == 0 {
+		return fmt.Errorf("core: RunWorker called on rank 0")
+	}
+	eng, err := recvShard(comm)
+	if err != nil {
+		return err
+	}
+	dim := eng.net.NumParams()
+	cmd := make([]float32, 2)
+	paramBuf := make(tensor.Vector, dim)
+
+	for {
+		comm.SetPhase("ctrl")
+		if err := comm.Bcast(0, cmd); err != nil {
+			return fmt.Errorf("core: worker %d command: %w", comm.Rank(), err)
+		}
+		switch cmd[0] {
+		case opSetParams:
+			comm.SetPhase("sync_weights")
+			if err := comm.Bcast(0, paramBuf); err != nil {
+				return err
+			}
+			eng.setParams(paramBuf)
+		case opGradient:
+			comm.SetPhase("gradient_loss")
+			grad := tensor.NewVector(dim)
+			loss, frames := eng.gradient(grad)
+			if err := comm.Reduce(0, mpi.OpSum, grad); err != nil {
+				return err
+			}
+			if err := comm.ReduceF64(0, mpi.OpSum, []float64{loss, float64(frames)}); err != nil {
+				return err
+			}
+		case opSample:
+			eng.drawSample(int(cmd[1]))
+		case opGNProduct:
+			comm.SetPhase("worker_curvature_product")
+			v := make(tensor.Vector, dim)
+			if err := comm.Bcast(0, v); err != nil {
+				return err
+			}
+			out := tensor.NewVector(dim)
+			frames := eng.gnProduct(v, out)
+			if err := comm.Reduce(0, mpi.OpSum, out); err != nil {
+				return err
+			}
+			if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(frames)}); err != nil {
+				return err
+			}
+		case opHeldLoss:
+			comm.SetPhase("loss_eval")
+			trial := make(tensor.Vector, dim)
+			if err := comm.Bcast(0, trial); err != nil {
+				return err
+			}
+			loss, frames := eng.heldLossAt(trial)
+			if err := comm.ReduceF64(0, mpi.OpSum, []float64{loss, float64(frames)}); err != nil {
+				return err
+			}
+		case opAccuracy:
+			comm.SetPhase("loss_eval")
+			correct, frames := eng.heldAccuracy()
+			if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(correct), float64(frames)}); err != nil {
+				return err
+			}
+		case opFisherDiag:
+			comm.SetPhase("cg_minimize")
+			diag := tensor.NewVector(dim)
+			frames := eng.fisherDiag(diag)
+			if err := comm.Reduce(0, mpi.OpSum, diag); err != nil {
+				return err
+			}
+			if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(frames)}); err != nil {
+				return err
+			}
+		case opStop:
+			return nil
+		default:
+			return fmt.Errorf("core: worker %d unknown opcode %v", comm.Rank(), cmd[0])
+		}
+	}
+}
+
+// TrainDistributedHF runs one master and workers−0 worker ranks as
+// goroutines over an in-process fabric: the single-binary equivalent of
+// the paper's MPI job. ranks counts all processes including the master,
+// so ranks=5 means 4 workers.
+func TrainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner) (*MasterResult, error) {
+	if ranks < 2 {
+		return nil, fmt.Errorf("core: need ≥2 ranks, got %d", ranks)
+	}
+	fabric := mpi.NewInprocFabric(ranks)
+	defer fabric.Close()
+
+	workerErrs := make(chan error, ranks-1)
+	for r := 1; r < ranks; r++ {
+		go func(r int) {
+			workerErrs <- RunWorker(mpi.NewComm(fabric.Transport(r)))
+		}(r)
+	}
+	res, err := RunMaster(mpi.NewComm(fabric.Transport(0)), p, cfg, part)
+	if err != nil {
+		fabric.Close() // unblock any workers still waiting
+	}
+	for r := 1; r < ranks; r++ {
+		if werr := <-workerErrs; werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/mpi"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func newTestFabric(n int) *mpi.InprocFabric { return mpi.NewInprocFabric(n) }
+
+func newTestComm(f *mpi.InprocFabric, rank int) *mpi.Comm {
+	return mpi.NewComm(f.Transport(rank))
+}

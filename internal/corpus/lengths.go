@@ -1,0 +1,40 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// GenerateLengths samples only utterance frame lengths from the corpus
+// length distribution, without materializing features. Paper-scale load-
+// balance studies (hundreds of thousands of utterances) use this: the
+// partitioners only need lengths, and 18M frames of features would not
+// fit in memory.
+func GenerateLengths(cfg Config) []int {
+	cfg = cfg.filled()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mu := math.Log(cfg.MeanSeconds) - cfg.SigmaLog*cfg.SigmaLog/2
+	out := make([]int, cfg.NumUtterances)
+	for i := range out {
+		seconds := math.Exp(mu + cfg.SigmaLog*rng.NormFloat64())
+		frames := int(seconds * float64(cfg.FramesPerSec))
+		if frames < cfg.MinFrames {
+			frames = cfg.MinFrames
+		}
+		out[i] = frames
+	}
+	return out
+}
+
+// UtterancesFromLengths wraps bare frame lengths in feature-less
+// Utterances so they can flow through the Partitioner interface. The
+// Feats matrices have zero columns and occupy no feature storage.
+func UtterancesFromLengths(lengths []int) []*Utterance {
+	out := make([]*Utterance, len(lengths))
+	for i, n := range lengths {
+		out[i] = &Utterance{ID: i, Feats: tensor.NewMatrix(n, 0)}
+	}
+	return out
+}

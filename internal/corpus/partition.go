@@ -1,0 +1,115 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partitioner assigns utterances to workers. The paper (§V-C) found the
+// distribution of variable-length utterances across workers to be a key
+// scalability factor: with naive assignment the master waits on the one
+// or two workers that drew the longest utterances.
+type Partitioner interface {
+	// Partition splits utts into n shards, one per worker. Every utterance
+	// appears in exactly one shard.
+	Partition(utts []*Utterance, n int) [][]*Utterance
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// RoundRobin deals utterances to workers in arrival order, ignoring
+// length — the naive baseline whose imbalance the paper observed.
+type RoundRobin struct{}
+
+// Name implements Partitioner.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Partition implements Partitioner.
+func (RoundRobin) Partition(utts []*Utterance, n int) [][]*Utterance {
+	checkWorkers(n)
+	shards := make([][]*Utterance, n)
+	for i, u := range utts {
+		shards[i%n] = append(shards[i%n], u)
+	}
+	return shards
+}
+
+// SortedGreedy implements the paper's preprocessing: sort utterances by
+// length and assign each, longest first, to the currently least-loaded
+// worker so all workers receive an equal amount of data (LPT scheduling).
+type SortedGreedy struct{}
+
+// Name implements Partitioner.
+func (SortedGreedy) Name() string { return "sorted-greedy" }
+
+// Partition implements Partitioner.
+func (SortedGreedy) Partition(utts []*Utterance, n int) [][]*Utterance {
+	checkWorkers(n)
+	order := make([]*Utterance, len(utts))
+	copy(order, utts)
+	// Stable sort on (frames desc, ID asc) keeps partitioning deterministic
+	// for equal-length utterances.
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].NumFrames() != order[j].NumFrames() {
+			return order[i].NumFrames() > order[j].NumFrames()
+		}
+		return order[i].ID < order[j].ID
+	})
+	shards := make([][]*Utterance, n)
+	load := make([]int, n)
+	for _, u := range order {
+		w := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		shards[w] = append(shards[w], u)
+		load[w] += u.NumFrames()
+	}
+	return shards
+}
+
+func checkWorkers(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("corpus: partition into %d workers", n))
+	}
+}
+
+// Balance summarizes how evenly a partition spreads frames over workers.
+type Balance struct {
+	MaxFrames  int
+	MinFrames  int
+	MeanFrames float64
+	// Imbalance is MaxFrames/MeanFrames; 1.0 is perfect. In a bulk-
+	// synchronous step the slowest worker gates the master, so this ratio
+	// is the straggler slowdown factor.
+	Imbalance float64
+}
+
+// MeasureBalance computes balance statistics for a partition.
+func MeasureBalance(shards [][]*Utterance) Balance {
+	if len(shards) == 0 {
+		return Balance{}
+	}
+	b := Balance{MinFrames: int(^uint(0) >> 1)}
+	total := 0
+	for _, s := range shards {
+		f := TotalFrames(s)
+		total += f
+		if f > b.MaxFrames {
+			b.MaxFrames = f
+		}
+		if f < b.MinFrames {
+			b.MinFrames = f
+		}
+	}
+	b.MeanFrames = float64(total) / float64(len(shards))
+	if b.MeanFrames > 0 {
+		b.Imbalance = float64(b.MaxFrames) / b.MeanFrames
+	} else {
+		b.MinFrames = 0
+		b.Imbalance = 1
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+package hf
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Objective is the interface between the optimizer and the (possibly
+// distributed) training problem. The serial and master/worker
+// implementations live in internal/core; the optimizer is agnostic to
+// where gradients and curvature products are computed — exactly the
+// property that lets the paper scale the same algorithm to 8192 ranks.
+//
+// All quantities are per-frame means so values are comparable across data
+// set sizes and worker counts.
+type Objective interface {
+	// Dim returns the parameter count.
+	Dim() int
+	// Params returns a copy of the current parameters θ.
+	Params() tensor.Vector
+	// SetParams replaces θ.
+	SetParams(p tensor.Vector)
+	// Gradient computes ∇L(θ) over the full training set at the current θ.
+	Gradient() tensor.Vector
+	// NewCurvatureSample draws a fresh curvature mini-sample (1-3% of the
+	// training data in the paper) used by all GNProduct calls until the
+	// next draw.
+	NewCurvatureSample(iter int)
+	// GNProduct sets out ← G(θ)·v over the current curvature sample.
+	GNProduct(v, out tensor.Vector)
+	// HeldOutLoss evaluates the loss of parameter vector p on the held-out
+	// set without changing θ.
+	HeldOutLoss(p tensor.Vector) float64
+}
+
+// Preconditioned is the optional extension an Objective can implement to
+// enable the diagonal CG preconditioner of Martens 2010 §4.7 — the
+// feature the paper's implementation explicitly defers. CurvatureDiag
+// returns a strictly positive diagonal approximating diag(G(θ)) + λ,
+// typically (diag(Fisher) + λ)^α with α ≈ 0.75, over the current
+// curvature sample.
+type Preconditioned interface {
+	CurvatureDiag(lambda float64) tensor.Vector
+}
+
+// Config holds the outer-loop hyperparameters of Algorithm 1.
+type Config struct {
+	// MaxIterations bounds outer HF iterations. Default 50.
+	MaxIterations int
+	// Lambda0 is the initial damping λ. Default 1.0.
+	Lambda0 float64
+	// Beta is the CG warm-start momentum: d0 ← β·d_N. Default 0.95.
+	Beta float64
+	// CG configures the inner solver.
+	CG CGOpts
+	// ArmijoC is the sufficient-decrease constant of the line search.
+	// Default 1e-4.
+	ArmijoC float64
+	// ArmijoShrink is the step shrink factor. Default 0.5.
+	ArmijoShrink float64
+	// ArmijoMaxSteps bounds line-search halvings. Default 10.
+	ArmijoMaxSteps int
+	// TolRelImprove stops the outer loop when the relative held-out loss
+	// improvement over an iteration falls below it. 0 disables.
+	TolRelImprove float64
+	// UsePreconditioner enables the Martens diagonal CG preconditioner
+	// when the objective implements Preconditioned.
+	UsePreconditioner bool
+	// Log, when non-nil, receives per-iteration statistics.
+	Log func(IterStats)
+}
+
+func (c Config) filled() Config {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 50
+	}
+	if c.Lambda0 <= 0 {
+		c.Lambda0 = 1.0
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		c.Beta = 0.95
+	}
+	if c.ArmijoC <= 0 {
+		c.ArmijoC = 1e-4
+	}
+	if c.ArmijoShrink <= 0 || c.ArmijoShrink >= 1 {
+		c.ArmijoShrink = 0.5
+	}
+	if c.ArmijoMaxSteps <= 0 {
+		c.ArmijoMaxSteps = 10
+	}
+	return c
+}
+
+// IterStats records one outer HF iteration for logging and the cycle
+// accounting that feeds the BG/Q simulator workloads.
+type IterStats struct {
+	Iter     int
+	Loss     float64 // held-out loss after the iteration
+	Lambda   float64
+	CGIters  int
+	BestIdx  int     // index of the backtracked CG iterate used
+	Alpha    float64 // line-search step size
+	Accepted bool    // false when the step was rejected (λ raised)
+	GradNorm float64
+}
+
+// Result summarizes an Optimize run.
+type Result struct {
+	Iters     []IterStats
+	FinalLoss float64
+	// TotalCGIters is the total number of CG iterations across the run,
+	// the dominant communication count in the distributed setting.
+	TotalCGIters int
+}
+
+// Optimize runs Algorithm 1: repeatedly build the damped quadratic model
+// at θ, minimize it with truncated CG, backtrack over CG iterates against
+// the held-out loss, adapt λ by the reduction ratio ρ, and take an
+// Armijo-damped step. It returns after MaxIterations, on convergence, or
+// when progress stalls completely.
+func Optimize(obj Objective, cfg Config) Result {
+	cfg = cfg.filled()
+	n := obj.Dim()
+	lambda := cfg.Lambda0
+	d0 := tensor.NewVector(n)
+	theta := obj.Params()
+	lossPrev := obj.HeldOutLoss(theta)
+	res := Result{FinalLoss: lossPrev}
+
+	consecutiveRejects := 0
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		g := obj.Gradient()
+		obj.NewCurvatureSample(iter)
+		lam := lambda // capture for the closure
+		apply := func(v, out tensor.Vector) {
+			obj.GNProduct(v, out)
+			out.AddScaled(float32(lam), v)
+		}
+		cgOpts := cfg.CG
+		if cfg.UsePreconditioner {
+			if prec, ok := obj.(Preconditioned); ok {
+				cgOpts.Precond = prec.CurvatureDiag(lambda)
+			}
+		}
+		cg := CGMinimize(apply, g, d0, cgOpts)
+		res.TotalCGIters += cg.Iters
+
+		stats := IterStats{Iter: iter, Lambda: lambda, CGIters: cg.Iters, GradNorm: g.Norm2()}
+
+		// Backtrack over saved CG iterates: take the one with the lowest
+		// held-out loss, scanning from the last backwards and stopping
+		// once the loss stops improving (Martens' procedure; see package
+		// comment for the relation to the paper's listing).
+		best := len(cg.Iterates) - 1
+		lossBest := lossAt(obj, theta, cg.Iterates[best])
+		for i := best - 1; i >= 0; i-- {
+			lossCurr := lossAt(obj, theta, cg.Iterates[i])
+			if lossPrev >= lossBest && lossCurr >= lossBest {
+				break
+			}
+			if lossCurr < lossBest {
+				lossBest = lossCurr
+				best = i
+			}
+		}
+		stats.BestIdx = best
+
+		if lossPrev < lossBest || math.IsNaN(lossBest) {
+			// No CG iterate improves the held-out loss: raise damping,
+			// drop the warm start and retry (Algorithm 1's reject branch).
+			lambda *= 1.5
+			d0.Zero()
+			stats.Accepted = false
+			stats.Loss = lossPrev
+			res.Iters = append(res.Iters, stats)
+			if cfg.Log != nil {
+				cfg.Log(stats)
+			}
+			consecutiveRejects++
+			if consecutiveRejects >= 8 {
+				break // damping has grown past any useful step
+			}
+			continue
+		}
+		consecutiveRejects = 0
+
+		// Levenberg-Marquardt damping update from the reduction ratio
+		// ρ = (actual improvement)/(model-predicted improvement), Martens
+		// convention: poor fit (ρ<¼) raises λ, good fit (ρ>¾) lowers it.
+		qN := cg.FinalQ()
+		if qN < 0 {
+			rho := (lossBest - lossPrev) / qN
+			if rho < 0.25 {
+				lambda *= 1.5
+			} else if rho > 0.75 {
+				lambda *= 2.0 / 3.0
+			}
+		}
+
+		// Armijo backtracking line search along the chosen iterate:
+		// require L(θ+αd) ≤ L(θ) + c·α·gᵀd (sufficient decrease), shrinking
+		// α geometrically. If no α satisfies it, fall back to the full step,
+		// which the backtracking phase already verified improves the loss.
+		d := cg.Iterates[best]
+		gd := math.Min(g.Dot(d), 0)
+		armijoOK := func(l, a float64) bool { return l <= lossPrev+cfg.ArmijoC*a*gd }
+		alpha := 1.0
+		lossNew := lossBest
+		for step := 0; step < cfg.ArmijoMaxSteps && !armijoOK(lossNew, alpha); step++ {
+			alpha *= cfg.ArmijoShrink
+			trial := theta.Clone()
+			trial.AddScaled(float32(alpha), d)
+			lossNew = obj.HeldOutLoss(trial)
+		}
+		if !armijoOK(lossNew, alpha) {
+			alpha, lossNew = 1.0, lossBest
+		}
+		stats.Alpha = alpha
+
+		// Accept: θ ← θ + α·d_best, d0 ← β·d_N, Lprev ← L(θ).
+		theta.AddScaled(float32(alpha), d)
+		obj.SetParams(theta)
+		copy(d0, cg.Final())
+		d0.Scale(float32(cfg.Beta))
+		improvement := (lossPrev - lossNew) / math.Abs(lossPrev)
+		lossPrev = lossNew
+		stats.Accepted = true
+		stats.Loss = lossNew
+		res.Iters = append(res.Iters, stats)
+		if cfg.Log != nil {
+			cfg.Log(stats)
+		}
+		if cfg.TolRelImprove > 0 && improvement >= 0 && improvement < cfg.TolRelImprove {
+			break
+		}
+	}
+	res.FinalLoss = lossPrev
+	return res
+}
+
+// lossAt evaluates the held-out loss at θ+d without mutating θ.
+func lossAt(obj Objective, theta, d tensor.Vector) float64 {
+	trial := theta.Clone()
+	trial.AddScaled(1, d)
+	return obj.HeldOutLoss(trial)
+}

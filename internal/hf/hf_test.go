@@ -1,0 +1,226 @@
+package hf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// quadObjective is a synthetic Objective with exact quadratic loss
+// L(θ) = ½(θ−θ*)ᵀA(θ−θ*) + c, gradient A(θ−θ*) and curvature A. HF must
+// drive it to θ* rapidly.
+type quadObjective struct {
+	a      [][]float64
+	target tensor.Vector
+	theta  tensor.Vector
+	c      float64
+
+	gradCalls, gnCalls, lossCalls, sampleCalls int
+}
+
+func newQuadObjective(rng *rand.Rand, n int) *quadObjective {
+	a, _ := denseSPD(rng, n)
+	return &quadObjective{
+		a:      a,
+		target: tensor.RandVector(rng, n, 1),
+		theta:  tensor.NewVector(n),
+		c:      2.5,
+	}
+}
+
+func (q *quadObjective) Dim() int                  { return len(q.theta) }
+func (q *quadObjective) Params() tensor.Vector     { return q.theta.Clone() }
+func (q *quadObjective) SetParams(p tensor.Vector) { copy(q.theta, p) }
+func (q *quadObjective) NewCurvatureSample(int)    { q.sampleCalls++ }
+
+func (q *quadObjective) diff(p tensor.Vector) []float64 {
+	d := make([]float64, len(p))
+	for i := range d {
+		d[i] = float64(p[i]) - float64(q.target[i])
+	}
+	return d
+}
+
+func (q *quadObjective) Gradient() tensor.Vector {
+	q.gradCalls++
+	d := q.diff(q.theta)
+	g := tensor.NewVector(len(d))
+	for i := range q.a {
+		var s float64
+		for j := range q.a[i] {
+			s += q.a[i][j] * d[j]
+		}
+		g[i] = float32(s)
+	}
+	return g
+}
+
+func (q *quadObjective) GNProduct(v, out tensor.Vector) {
+	q.gnCalls++
+	for i := range q.a {
+		var s float64
+		for j := range q.a[i] {
+			s += q.a[i][j] * float64(v[j])
+		}
+		out[i] += float32(s)
+	}
+}
+
+func (q *quadObjective) HeldOutLoss(p tensor.Vector) float64 {
+	q.lossCalls++
+	d := q.diff(p)
+	var s float64
+	for i := range q.a {
+		for j := range q.a[i] {
+			s += d[i] * q.a[i][j] * d[j]
+		}
+	}
+	return 0.5*s + q.c
+}
+
+func TestOptimizeConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := newQuadObjective(rng, 10)
+	res := Optimize(q, Config{MaxIterations: 15, Lambda0: 1, CG: CGOpts{MaxIters: 50, StopTol: 1e-10}})
+	if math.Abs(res.FinalLoss-q.c) > 1e-3 {
+		t.Fatalf("final loss %v, want ≈%v (the offset)", res.FinalLoss, q.c)
+	}
+	for i := range q.theta {
+		if math.Abs(float64(q.theta[i]-q.target[i])) > 0.05 {
+			t.Fatalf("θ[%d] = %v, want %v", i, q.theta[i], q.target[i])
+		}
+	}
+	if q.sampleCalls == 0 {
+		t.Fatal("curvature sample never drawn")
+	}
+}
+
+func TestOptimizeLossMonotoneOnAcceptedSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := newQuadObjective(rng, 8)
+	res := Optimize(q, Config{MaxIterations: 10, Lambda0: 5})
+	prev := math.Inf(1)
+	for _, s := range res.Iters {
+		if s.Accepted {
+			if s.Loss > prev+1e-9 {
+				t.Fatalf("accepted iteration %d increased loss %v → %v", s.Iter, prev, s.Loss)
+			}
+			prev = s.Loss
+		}
+	}
+	if math.IsInf(prev, 1) {
+		t.Fatal("no accepted iterations")
+	}
+}
+
+func TestOptimizeLambdaDecreasesOnGoodModel(t *testing.T) {
+	// On an exact quadratic, the model fit is perfect (ρ≈1), so λ must
+	// shrink across iterations (Martens convention).
+	rng := rand.New(rand.NewSource(3))
+	q := newQuadObjective(rng, 8)
+	res := Optimize(q, Config{MaxIterations: 6, Lambda0: 10, TolRelImprove: 0})
+	if len(res.Iters) < 2 {
+		t.Fatal("too few iterations")
+	}
+	first, last := res.Iters[0].Lambda, res.Iters[len(res.Iters)-1].Lambda
+	if last >= first {
+		t.Fatalf("λ did not decrease: %v → %v", first, last)
+	}
+}
+
+// rejectingObjective reports a held-out loss that strictly worsens with
+// any movement away from the start point: HF must raise λ, reject steps,
+// and eventually give up rather than loop forever.
+type rejectingObjective struct {
+	*quadObjective
+}
+
+func (r *rejectingObjective) HeldOutLoss(p tensor.Vector) float64 {
+	return 100 + p.Norm2()
+}
+
+func TestOptimizeRejectionRaisesLambdaAndTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := &rejectingObjective{newQuadObjective(rng, 6)}
+	res := Optimize(r, Config{MaxIterations: 50, Lambda0: 1})
+	if len(res.Iters) == 0 || len(res.Iters) >= 50 {
+		t.Fatalf("expected early termination, ran %d iterations", len(res.Iters))
+	}
+	for _, s := range res.Iters {
+		if s.Accepted {
+			t.Fatal("no step should be accepted")
+		}
+	}
+	last := res.Iters[len(res.Iters)-1]
+	if last.Lambda <= 1 {
+		t.Fatalf("λ should have grown, got %v", last.Lambda)
+	}
+	if res.FinalLoss != 100 {
+		t.Fatalf("final loss %v", res.FinalLoss)
+	}
+}
+
+func TestOptimizeMomentumWarmStartStillConverges(t *testing.T) {
+	// The β·d_N warm start must not break convergence, including with an
+	// aggressive β; and the logger must be invoked once per iteration.
+	rng := rand.New(rand.NewSource(5))
+	for _, beta := range []float64{0.5, 0.95} {
+		q := newQuadObjective(rng, 12)
+		logged := 0
+		res := Optimize(q, Config{
+			MaxIterations: 15, Lambda0: 1, Beta: beta,
+			CG:  CGOpts{MaxIters: 100, StopTol: 1e-8},
+			Log: func(s IterStats) { logged++ },
+		})
+		if logged != len(res.Iters) {
+			t.Fatalf("β=%v: logger called %d times for %d iterations", beta, logged, len(res.Iters))
+		}
+		if math.Abs(res.FinalLoss-q.c) > 1e-2 {
+			t.Fatalf("β=%v: final loss %v, want ≈%v", beta, res.FinalLoss, q.c)
+		}
+	}
+}
+
+func TestOptimizeTolStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := newQuadObjective(rng, 8)
+	res := Optimize(q, Config{MaxIterations: 50, TolRelImprove: 1e-6})
+	if len(res.Iters) >= 50 {
+		t.Fatal("tolerance did not stop the run")
+	}
+}
+
+func TestOptimizeStatsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := newQuadObjective(rng, 6)
+	res := Optimize(q, Config{MaxIterations: 5})
+	total := 0
+	for i, s := range res.Iters {
+		if s.Iter != i+1 {
+			t.Fatalf("iteration numbering: %+v", s)
+		}
+		if s.Accepted && (s.Alpha <= 0 || s.Alpha > 1) {
+			t.Fatalf("alpha out of range: %+v", s)
+		}
+		if s.GradNorm < 0 {
+			t.Fatalf("negative grad norm: %+v", s)
+		}
+		total += s.CGIters
+	}
+	if total != res.TotalCGIters {
+		t.Fatalf("TotalCGIters %d != sum %d", res.TotalCGIters, total)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.filled()
+	if c.MaxIterations != 50 || c.Lambda0 != 1.0 || c.Beta != 0.95 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	o := CGOpts{}.filled()
+	if o.MaxIters != 100 || o.MinIters != 10 || o.SaveFactor != 1.3 {
+		t.Fatalf("CG defaults wrong: %+v", o)
+	}
+}

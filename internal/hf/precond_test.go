@@ -1,0 +1,142 @@
+package hf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// illConditioned builds a diagonal system with a large condition number
+// plus a mild off-diagonal coupling — the regime where Jacobi
+// preconditioning pays off.
+func illConditioned(n int) ([][]float64, func(v, out tensor.Vector), tensor.Vector) {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		a[i][i] = math.Pow(10, 3*float64(i)/float64(n-1)) // cond ≈ 1e3
+		if i > 0 {
+			a[i][i-1] = 0.1
+			a[i-1][i] = 0.1
+		}
+	}
+	apply := func(v, out tensor.Vector) {
+		for i := range a {
+			var s float64
+			for j := range a[i] {
+				s += a[i][j] * float64(v[j])
+			}
+			out[i] += float32(s)
+		}
+	}
+	diag := make(tensor.Vector, n)
+	for i := range diag {
+		diag[i] = float32(a[i][i])
+	}
+	return a, apply, diag
+}
+
+func TestPreconditionedCGFasterOnIllConditioned(t *testing.T) {
+	const n = 40
+	a, apply, diag := illConditioned(n)
+	rng := rand.New(rand.NewSource(1))
+	g := tensor.RandVector(rng, n, 1)
+
+	plain := CGMinimize(apply, g, tensor.NewVector(n), CGOpts{MaxIters: 500, StopTol: 1e-10, MinIters: 2})
+	prec := CGMinimize(apply, g, tensor.NewVector(n), CGOpts{MaxIters: 500, StopTol: 1e-10, MinIters: 2, Precond: diag})
+	if prec.Iters >= plain.Iters {
+		t.Fatalf("preconditioned CG took %d iters, plain %d — no speedup", prec.Iters, plain.Iters)
+	}
+
+	// Both must solve the system.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = -float64(g[i])
+	}
+	want := solveDense(a, b)
+	for i := range want {
+		if math.Abs(float64(prec.Final()[i])-want[i]) > 5e-2*(1+math.Abs(want[i])) {
+			t.Fatalf("preconditioned solution wrong at %d: %v vs %v", i, prec.Final()[i], want[i])
+		}
+	}
+}
+
+func TestIdentityPreconditionerMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 16
+	_, apply := denseSPD(rng, n)
+	g := tensor.RandVector(rng, n, 1)
+	ones := make(tensor.Vector, n)
+	ones.Fill(1)
+	plain := CGMinimize(apply, g, tensor.NewVector(n), CGOpts{MaxIters: 60, StopTol: 1e-10})
+	prec := CGMinimize(apply, g, tensor.NewVector(n), CGOpts{MaxIters: 60, StopTol: 1e-10, Precond: ones})
+	if plain.Iters != prec.Iters {
+		t.Fatalf("identity preconditioner changed iteration count: %d vs %d", plain.Iters, prec.Iters)
+	}
+	if !tensor.EqualApproxVec(plain.Final(), prec.Final(), 1e-5) {
+		t.Fatal("identity preconditioner changed the solution")
+	}
+}
+
+func TestPrecondValidation(t *testing.T) {
+	_, apply := denseSPD(rand.New(rand.NewSource(3)), 4)
+	g := tensor.NewVector(4)
+	g[0] = 1
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for wrong-length preconditioner")
+			}
+		}()
+		CGMinimize(apply, g, tensor.NewVector(4), CGOpts{Precond: make(tensor.Vector, 3)})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for non-positive preconditioner")
+			}
+		}()
+		bad := make(tensor.Vector, 4)
+		bad.Fill(1)
+		bad[2] = 0
+		CGMinimize(apply, g, tensor.NewVector(4), CGOpts{Precond: bad})
+	}()
+}
+
+// preconditionedQuad is quadObjective plus the Preconditioned interface
+// exposing the exact diagonal of A.
+type preconditionedQuad struct {
+	*quadObjective
+}
+
+func (q *preconditionedQuad) CurvatureDiag(lambda float64) tensor.Vector {
+	d := make(tensor.Vector, len(q.theta))
+	for i := range d {
+		d[i] = float32(q.a[i][i] + lambda)
+	}
+	return d
+}
+
+func TestOptimizeWithPreconditioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := &preconditionedQuad{newQuadObjective(rng, 10)}
+	res := Optimize(q, Config{
+		MaxIterations:     10,
+		UsePreconditioner: true,
+		CG:                CGOpts{MaxIters: 60, StopTol: 1e-10},
+	})
+	if math.Abs(res.FinalLoss-q.c) > 1e-3 {
+		t.Fatalf("preconditioned HF failed to converge: %v", res.FinalLoss)
+	}
+}
+
+func TestOptimizePreconditionerFlagIgnoredWithoutInterface(t *testing.T) {
+	// A plain objective with UsePreconditioner set must still work.
+	rng := rand.New(rand.NewSource(5))
+	q := newQuadObjective(rng, 8)
+	res := Optimize(q, Config{MaxIterations: 10, UsePreconditioner: true})
+	if math.Abs(res.FinalLoss-q.c) > 1e-3 {
+		t.Fatalf("flag without interface broke optimization: %v", res.FinalLoss)
+	}
+}

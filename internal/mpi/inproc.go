@@ -1,0 +1,64 @@
+package mpi
+
+import "fmt"
+
+// InprocFabric connects n ranks living as goroutines in one process. It is
+// the deterministic transport used by tests, examples and the
+// single-binary distributed trainer.
+type InprocFabric struct {
+	boxes []*mailbox
+}
+
+// NewInprocFabric creates a fabric with n ranks.
+func NewInprocFabric(n int) *InprocFabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: fabric size %d", n))
+	}
+	f := &InprocFabric{boxes: make([]*mailbox, n)}
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	return f
+}
+
+// Transport returns the endpoint for the given rank.
+func (f *InprocFabric) Transport(rank int) Transport {
+	checkRank("inproc transport", rank, len(f.boxes))
+	return &inprocTransport{fabric: f, rank: rank}
+}
+
+// Close shuts down all endpoints.
+func (f *InprocFabric) Close() {
+	for _, b := range f.boxes {
+		b.close()
+	}
+}
+
+type inprocTransport struct {
+	fabric *InprocFabric
+	rank   int
+}
+
+func (t *inprocTransport) Rank() int { return t.rank }
+func (t *inprocTransport) Size() int { return len(t.fabric.boxes) }
+
+func (t *inprocTransport) Send(dst, tag int, data []byte) error {
+	checkRank("send destination", dst, t.Size())
+	// Copy so the sender can immediately reuse its buffer, matching the
+	// blocking-send semantics the trainer relies on.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return t.fabric.boxes[dst].put(Message{Src: t.rank, Tag: tag, Data: cp})
+}
+
+func (t *inprocTransport) Recv(src, tag int) (Message, error) {
+	if src != AnySource {
+		checkRank("recv source", src, t.Size())
+	}
+	return t.fabric.boxes[t.rank].get(src, tag)
+}
+
+func (t *inprocTransport) Close() error {
+	t.fabric.boxes[t.rank].close()
+	return nil
+}

@@ -1,0 +1,91 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPeerDown is returned by Recv when the awaited peer's connection has
+// failed and no matching message is queued.
+var ErrPeerDown = errors.New("mpi: peer down")
+
+// mailbox is an unbounded, tag-matched message queue shared by both
+// transports. Recv performs MPI-style matching: the oldest queued message
+// whose (src, tag) satisfies the request is delivered, so out-of-order
+// tags do not deadlock.
+//
+// Transports with per-peer connections (TCP) mark individual peers down
+// when their connection fails; a Recv that can only be satisfied by a
+// down peer fails with ErrPeerDown instead of blocking forever. Messages
+// already queued from a down peer are still deliverable.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+	down   map[int]bool
+	nPeers int // total peers that can go down; 0 when untracked (in-proc)
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{down: make(map[int]bool)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func newMailboxN(peers int) *mailbox {
+	m := newMailbox()
+	m.nPeers = peers
+	return m
+}
+
+func (m *mailbox) put(msg Message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Broadcast()
+	return nil
+}
+
+// markDown records that src's connection failed and wakes blocked
+// receivers so they can observe the failure.
+func (m *mailbox) markDown(src int) {
+	m.mu.Lock()
+	m.down[src] = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) get(src, tag int) (Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (src == AnySource || msg.Src == src) && (tag == AnyTag || msg.Tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg, nil
+			}
+		}
+		if m.closed {
+			return Message{}, ErrClosed
+		}
+		if src != AnySource && m.down[src] {
+			return Message{}, fmt.Errorf("%w: rank %d", ErrPeerDown, src)
+		}
+		if src == AnySource && m.nPeers > 0 && len(m.down) >= m.nPeers {
+			return Message{}, fmt.Errorf("%w: all peers", ErrPeerDown)
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Category classifies communication the way the paper's Figures 4 and 5
+// do: point-to-point versus collective MPI time.
+type Category int
+
+const (
+	// CatP2P covers Send/Recv (e.g. the master's load_data distribution).
+	CatP2P Category = iota
+	// CatCollective covers Bcast/Reduce/... (e.g. sync_weights).
+	CatCollective
+)
+
+// String returns the category label used in reports.
+func (c Category) String() string {
+	switch c {
+	case CatP2P:
+		return "point-to-point"
+	case CatCollective:
+		return "collective"
+	default:
+		return "unknown"
+	}
+}
+
+// Stat accumulates communication activity for one (phase, category) cell.
+type Stat struct {
+	Time  time.Duration
+	Bytes int64
+	Calls int64
+}
+
+type statKey struct {
+	Phase string
+	Cat   Category
+}
+
+// Profiler records per-phase, per-category communication statistics for
+// one rank. It is safe for concurrent use, although a rank is normally
+// single-threaded.
+type Profiler struct {
+	mu    sync.Mutex
+	phase string
+	stats map[statKey]*Stat
+}
+
+// NewProfiler returns an empty profiler with phase "".
+func NewProfiler() *Profiler {
+	return &Profiler{stats: make(map[statKey]*Stat)}
+}
+
+// SetPhase labels subsequent communication with the given phase name
+// (e.g. "load_data", "sync_weights", "cg_minimize").
+func (p *Profiler) SetPhase(name string) {
+	p.mu.Lock()
+	p.phase = name
+	p.mu.Unlock()
+}
+
+// Phase returns the current phase label.
+func (p *Profiler) Phase() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.phase
+}
+
+func (p *Profiler) add(cat Category, d time.Duration, bytes int64) {
+	p.mu.Lock()
+	k := statKey{Phase: p.phase, Cat: cat}
+	s := p.stats[k]
+	if s == nil {
+		s = &Stat{}
+		p.stats[k] = s
+	}
+	s.Time += d
+	s.Bytes += bytes
+	s.Calls++
+	p.mu.Unlock()
+}
+
+// PhaseStat is one row of a profiler snapshot.
+type PhaseStat struct {
+	Phase string
+	Cat   Category
+	Stat  Stat
+}
+
+// Snapshot returns the accumulated statistics sorted by phase then
+// category.
+func (p *Profiler) Snapshot() []PhaseStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PhaseStat, 0, len(p.stats))
+	for k, s := range p.stats {
+		out = append(out, PhaseStat{Phase: k.Phase, Cat: k.Cat, Stat: *s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		return out[i].Cat < out[j].Cat
+	})
+	return out
+}
+
+// TotalByCategory sums the recorded time per category across phases.
+func (p *Profiler) TotalByCategory() map[Category]time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Category]time.Duration)
+	for k, s := range p.stats {
+		out[k.Cat] += s.Time
+	}
+	return out
+}
+
+// Reset clears all accumulated statistics but keeps the current phase.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.stats = make(map[statKey]*Stat)
+	p.mu.Unlock()
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilerRecordsCategories(t *testing.T) {
+	runRanks(t, 2, func(c *Comm) {
+		c.SetPhase("load_data")
+		if c.Rank() == 0 {
+			c.SendF32(1, 1, make([]float32, 10))
+		} else {
+			buf := make([]float32, 10)
+			c.RecvF32(0, 1, buf)
+		}
+		c.SetPhase("sync_weights")
+		c.Bcast(0, make([]float32, 20))
+
+		snap := c.Profiler().Snapshot()
+		var sawP2P, sawColl bool
+		for _, s := range snap {
+			switch {
+			case s.Phase == "load_data" && s.Cat == CatP2P:
+				sawP2P = true
+				if s.Stat.Bytes != 40 || s.Stat.Calls != 1 {
+					t.Errorf("rank %d load_data stat: %+v", c.Rank(), s.Stat)
+				}
+			case s.Phase == "sync_weights" && s.Cat == CatCollective:
+				sawColl = true
+				if s.Stat.Bytes != 80 {
+					t.Errorf("rank %d sync_weights bytes = %d", c.Rank(), s.Stat.Bytes)
+				}
+			}
+		}
+		if !sawP2P || !sawColl {
+			t.Errorf("rank %d: p2p=%v collective=%v", c.Rank(), sawP2P, sawColl)
+		}
+	})
+}
+
+func TestProfilerTotalsAndReset(t *testing.T) {
+	p := NewProfiler()
+	p.SetPhase("a")
+	p.add(CatP2P, 2*time.Millisecond, 100)
+	p.SetPhase("b")
+	p.add(CatP2P, 3*time.Millisecond, 200)
+	p.add(CatCollective, 5*time.Millisecond, 300)
+
+	totals := p.TotalByCategory()
+	if totals[CatP2P] != 5*time.Millisecond {
+		t.Fatalf("p2p total %v", totals[CatP2P])
+	}
+	if totals[CatCollective] != 5*time.Millisecond {
+		t.Fatalf("collective total %v", totals[CatCollective])
+	}
+	if p.Phase() != "b" {
+		t.Fatalf("phase %q", p.Phase())
+	}
+	p.Reset()
+	if len(p.Snapshot()) != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	if p.Phase() != "b" {
+		t.Fatal("Reset must keep the phase")
+	}
+}
+
+func TestProfilerSnapshotSorted(t *testing.T) {
+	p := NewProfiler()
+	p.SetPhase("z")
+	p.add(CatCollective, time.Millisecond, 1)
+	p.SetPhase("a")
+	p.add(CatCollective, time.Millisecond, 1)
+	p.add(CatP2P, time.Millisecond, 1)
+	snap := p.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len %d", len(snap))
+	}
+	if snap[0].Phase != "a" || snap[0].Cat != CatP2P {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if snap[2].Phase != "z" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatP2P.String() != "point-to-point" || CatCollective.String() != "collective" {
+		t.Fatal("category labels wrong")
+	}
+	if Category(99).String() != "unknown" {
+		t.Fatal("unknown category label wrong")
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	f32 := []float32{0, -1.5, 3.25e10}
+	buf := encodeF32(f32)
+	out := make([]float32, 3)
+	if err := decodeF32Into(buf, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f32 {
+		if out[i] != f32[i] {
+			t.Fatalf("f32 roundtrip: %v != %v", out, f32)
+		}
+	}
+	if err := decodeF32Into(buf[:8], out); err == nil {
+		t.Fatal("expected length error")
+	}
+
+	f64 := []float64{1e-300, 2, -7.5}
+	out64 := make([]float64, 3)
+	if err := decodeF64Into(encodeF64(f64), out64); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f64 {
+		if out64[i] != f64[i] {
+			t.Fatalf("f64 roundtrip: %v != %v", out64, f64)
+		}
+	}
+	if err := decodeF64Into(encodeF64(f64)[:8], out64); err == nil {
+		t.Fatal("expected length error")
+	}
+
+	ints := []int{-1, 0, 1 << 50}
+	got, err := decodeInts(encodeInts(ints))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ints {
+		if got[i] != ints[i] {
+			t.Fatalf("ints roundtrip: %v != %v", got, ints)
+		}
+	}
+	if _, err := decodeInts(make([]byte, 7)); err == nil {
+		t.Fatal("expected alignment error")
+	}
+}

@@ -1,0 +1,236 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Wire format: every frame is [tag int32][length uint32][payload]. The
+// sender's rank is established once per connection by a handshake frame
+// carrying the dialer's rank, so per-message overhead stays at 8 bytes.
+
+// maxFrameSize bounds a single message; larger frames indicate corruption
+// and fail the connection rather than attempting a huge allocation.
+const maxFrameSize = 1 << 30
+
+// tcpTransport is a full-mesh TCP endpoint. Rank i listens on addrs[i];
+// during setup it accepts connections from all lower ranks and dials all
+// higher ranks. Incoming frames from all peers are funneled into one
+// tag-matched mailbox by per-connection reader goroutines.
+type tcpTransport struct {
+	rank  int
+	size  int
+	box   *mailbox
+	conns []*tcpConn // indexed by peer rank; conns[rank] == nil
+	ln    net.Listener
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writers
+	c  net.Conn
+}
+
+// ConnectTCP builds the TCP endpoint for rank among size ranks, where
+// addrs[i] is the listen address of rank i. Every rank must call
+// ConnectTCP concurrently; it returns once the full mesh is established.
+func ConnectTCP(rank int, addrs []string) (Transport, error) {
+	size := len(addrs)
+	checkRank("tcp", rank, size)
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d listen: %w", rank, err)
+	}
+	return connectTCPWithListener(rank, addrs, ln)
+}
+
+// ConnectTCPLocal creates a size-rank fabric on ephemeral localhost ports
+// and returns all endpoints. It exists for tests and single-host
+// multi-transport runs where addresses are not known in advance.
+func ConnectTCPLocal(size int) ([]Transport, error) {
+	lns := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	transports := make([]Transport, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			transports[i], errs[i] = connectTCPWithListener(i, addrs, lns[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return transports, nil
+}
+
+func connectTCPWithListener(rank int, addrs []string, ln net.Listener) (Transport, error) {
+	size := len(addrs)
+	t := &tcpTransport{
+		rank:  rank,
+		size:  size,
+		box:   newMailboxN(size - 1),
+		conns: make([]*tcpConn, size),
+		ln:    ln,
+	}
+
+	type accepted struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, rank)
+	// Accept one connection from each lower rank; the handshake frame
+	// identifies the peer.
+	go func() {
+		for i := 0; i < rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				acceptCh <- accepted{err: fmt.Errorf("mpi: handshake read: %w", err)}
+				return
+			}
+			peer := int(int32(binary.LittleEndian.Uint32(hdr[:])))
+			if peer < 0 || peer >= size || peer == rank {
+				acceptCh <- accepted{err: fmt.Errorf("mpi: handshake from invalid rank %d", peer)}
+				return
+			}
+			acceptCh <- accepted{peer: peer, conn: conn}
+		}
+	}()
+
+	// Dial every higher rank, announcing our rank.
+	for peer := rank + 1; peer < size; peer++ {
+		conn, err := net.Dial("tcp", addrs[peer])
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("mpi: rank %d dial rank %d: %w", rank, peer, err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(int32(rank)))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("mpi: rank %d handshake to %d: %w", rank, peer, err)
+		}
+		t.conns[peer] = &tcpConn{c: conn}
+	}
+	for i := 0; i < rank; i++ {
+		a := <-acceptCh
+		if a.err != nil {
+			t.Close()
+			return nil, a.err
+		}
+		if t.conns[a.peer] != nil {
+			t.Close()
+			return nil, fmt.Errorf("mpi: duplicate connection from rank %d", a.peer)
+		}
+		t.conns[a.peer] = &tcpConn{c: a.conn}
+	}
+
+	for peer, tc := range t.conns {
+		if tc != nil {
+			go t.readLoop(peer, tc.c)
+		}
+	}
+	return t, nil
+}
+
+// readLoop parses frames from one peer into the mailbox until the
+// connection fails or the transport closes.
+func (t *tcpTransport) readLoop(peer int, conn net.Conn) {
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// Peer death or local close: mark this peer down so a Recv
+			// waiting on it observes the failure instead of hanging.
+			// Queued messages from the peer remain deliverable.
+			t.box.markDown(peer)
+			return
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
+		length := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxFrameSize {
+			t.box.markDown(peer)
+			return
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			t.box.markDown(peer)
+			return
+		}
+		if t.box.put(Message{Src: peer, Tag: tag, Data: data}) != nil {
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) Rank() int { return t.rank }
+func (t *tcpTransport) Size() int { return t.size }
+
+func (t *tcpTransport) Send(dst, tag int, data []byte) error {
+	checkRank("send destination", dst, t.size)
+	if dst == t.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		return t.box.put(Message{Src: t.rank, Tag: tag, Data: cp})
+	}
+	tc := t.conns[dst]
+	if tc == nil {
+		return ErrClosed
+	}
+	frame := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
+	copy(frame[8:], data)
+	tc.mu.Lock()
+	_, err := tc.c.Write(frame)
+	tc.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("mpi: send to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+func (t *tcpTransport) Recv(src, tag int) (Message, error) {
+	if src != AnySource {
+		checkRank("recv source", src, t.size)
+	}
+	return t.box.get(src, tag)
+}
+
+func (t *tcpTransport) Close() error {
+	t.closeOnce.Do(func() {
+		t.box.close()
+		if t.ln != nil {
+			t.closeErr = t.ln.Close()
+		}
+		for _, tc := range t.conns {
+			if tc != nil {
+				tc.c.Close()
+			}
+		}
+	})
+	return t.closeErr
+}

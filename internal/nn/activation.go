@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Activation selects the hidden-layer nonlinearity. The paper's acoustic
+// models use the logistic sigmoid (the era's standard); Tanh and ReLU are
+// provided as drop-in alternatives. The output layer is always linear
+// logits consumed by softmax/cross-entropy or the sequence criterion.
+type Activation int
+
+const (
+	// Sigmoid is the logistic function 1/(1+e^{-z}) (paper default).
+	Sigmoid Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// ReLU is max(0, z).
+	ReLU
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// apply computes the nonlinearity elementwise in place.
+func (a Activation) apply(z *tensor.Matrix) {
+	switch a {
+	case Sigmoid:
+		sigmoidInPlace(z)
+	case Tanh:
+		for i := 0; i < z.Rows; i++ {
+			row := z.Row(i)
+			for j, v := range row {
+				row[j] = float32(math.Tanh(float64(v)))
+			}
+		}
+	case ReLU:
+		for i := 0; i < z.Rows; i++ {
+			row := z.Row(i)
+			for j, v := range row {
+				if v < 0 {
+					row[j] = 0
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// hadamardDeriv computes d ∘= f'(z) elementwise, where f' is expressed in
+// terms of the stored activation value a = f(z): sigmoid a(1−a), tanh
+// 1−a², ReLU 1{a>0}. (For ReLU the derivative at exactly 0 is taken as 0.)
+func (act Activation) hadamardDeriv(d, a *tensor.Matrix) {
+	switch act {
+	case Sigmoid:
+		hadamardSigmoidDeriv(d, a)
+	case Tanh:
+		for i := 0; i < d.Rows; i++ {
+			dr, ar := d.Row(i), a.Row(i)
+			for j := range dr {
+				dr[j] *= 1 - ar[j]*ar[j]
+			}
+		}
+	case ReLU:
+		for i := 0; i < d.Rows; i++ {
+			dr, ar := d.Row(i), a.Row(i)
+			for j := range dr {
+				if ar[j] <= 0 {
+					dr[j] = 0
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", act))
+	}
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestActivationString(t *testing.T) {
+	if Sigmoid.String() != "sigmoid" || Tanh.String() != "tanh" || ReLU.String() != "relu" {
+		t.Fatal("activation names wrong")
+	}
+	if Activation(9).String() == "" {
+		t.Fatal("unknown activation must render")
+	}
+}
+
+func TestActivationRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, act := range []Activation{Sigmoid, Tanh, ReLU} {
+		z := tensor.RandMatrix(rng, 4, 8, 5)
+		act.apply(z)
+		for _, v := range z.Data {
+			switch act {
+			case Sigmoid:
+				if v <= 0 || v >= 1 {
+					t.Fatalf("sigmoid out of (0,1): %v", v)
+				}
+			case Tanh:
+				if v <= -1 || v >= 1 {
+					t.Fatalf("tanh out of (-1,1): %v", v)
+				}
+			case ReLU:
+				if v < 0 {
+					t.Fatalf("relu negative: %v", v)
+				}
+			}
+		}
+	}
+}
+
+// Gradient check for each activation: the whole backprop chain must stay
+// exact when the nonlinearity changes.
+func TestGradientAllActivations(t *testing.T) {
+	for _, act := range []Activation{Sigmoid, Tanh, ReLU} {
+		act := act
+		t.Run(act.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			n := testNet(t, 4, 6, 3)
+			n.Act = act
+			x := tensor.RandMatrix(rng, 6, 4, 1)
+			targets := make([]int, 6)
+			for i := range targets {
+				targets[i] = rng.Intn(3)
+			}
+			grad := tensor.NewVector(n.NumParams())
+			n.LossGrad(x, targets, grad)
+
+			const eps = 1e-2
+			checked := 0
+			for trial := 0; trial < 60 && checked < 15; trial++ {
+				i := rng.Intn(n.NumParams())
+				orig := n.Params[i]
+				n.Params[i] = orig + eps
+				lp, _ := CrossEntropy(n.Forward(x).Logits, targets)
+				n.Params[i] = orig - eps
+				lm, _ := CrossEntropy(n.Forward(x).Logits, targets)
+				n.Params[i] = orig
+				fd := (lp - lm) / (2 * eps)
+				if math.Abs(fd) < 1e-3 && math.Abs(float64(grad[i])) < 1e-3 {
+					continue
+				}
+				rel := math.Abs(fd-float64(grad[i])) / (math.Abs(fd) + math.Abs(float64(grad[i])) + 1e-8)
+				// ReLU kinks make FD noisier.
+				tol := 0.08
+				if act == ReLU {
+					tol = 0.15
+				}
+				if rel > tol {
+					t.Fatalf("param %d: analytic %v vs FD %v (rel %.3f)", i, grad[i], fd, rel)
+				}
+				checked++
+			}
+			if checked < 5 {
+				t.Fatalf("only %d informative checks", checked)
+			}
+		})
+	}
+}
+
+// The Gauss-Newton operator must remain symmetric PSD for every
+// activation.
+func TestGNSymmetryAllActivations(t *testing.T) {
+	for _, act := range []Activation{Sigmoid, Tanh, ReLU} {
+		rng := rand.New(rand.NewSource(3))
+		n := testNet(t, 3, 5, 2)
+		n.Act = act
+		x := tensor.RandMatrix(rng, 5, 3, 1)
+		d := tensor.RandVector(rng, n.NumParams(), 0.5)
+		e := tensor.RandVector(rng, n.NumParams(), 0.5)
+		gd := tensor.NewVector(n.NumParams())
+		ge := tensor.NewVector(n.NumParams())
+		n.GNProduct(x, d, gd)
+		n.GNProduct(x, e, ge)
+		if math.Abs(e.Dot(gd)-d.Dot(ge)) > 1e-3*(1+math.Abs(e.Dot(gd))) {
+			t.Fatalf("%v: GN not symmetric", act)
+		}
+		if d.Dot(gd) < -1e-4 {
+			t.Fatalf("%v: GN not PSD", act)
+		}
+	}
+}
+
+func TestCloneKeepsActivation(t *testing.T) {
+	n := testNet(t, 2, 3, 2)
+	n.Act = Tanh
+	if n.Clone().Act != Tanh {
+		t.Fatal("Clone dropped the activation")
+	}
+}

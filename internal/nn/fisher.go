@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/tensor"
+)
+
+// FisherDiag accumulates the diagonal of the empirical Fisher matrix —
+// the sum over batch rows of the squared per-frame cross-entropy
+// gradient — into out (+=). This is the quantity behind the Martens
+// (2010 §4.7) diagonal CG preconditioner, (diag(F) + λ)^α, the extension
+// the paper's implementation defers.
+//
+// Because the per-frame gradient of W_l is the outer product δ_i·a_j, the
+// summed square is Σ_n δ²_i a²_j = (Δ∘Δ)ᵀ(A∘A): one GEMM on elementwise
+// squares per layer, so the diagonal costs about as much as one gradient.
+func (n *Network) FisherDiag(x *tensor.Matrix, targets []int, out tensor.Vector) {
+	if len(out) != n.NumParams() {
+		panic(fmt.Sprintf("nn: FisherDiag vector %d elements, want %d", len(out), n.NumParams()))
+	}
+	f := n.Forward(x)
+	delta := Softmax(f.Logits)
+	for i, t := range targets {
+		if t < 0 || t >= delta.Cols {
+			panic(fmt.Sprintf("nn: target %d out of range %d", t, delta.Cols))
+		}
+		delta.Row(i)[t] -= 1
+	}
+
+	ow, ob := n.Topo.Views(out)
+	L := n.Topo.NumLayers()
+	for l := L - 1; l >= 0; l-- {
+		var below *tensor.Matrix
+		if l == 0 {
+			below = f.X
+		} else {
+			below = f.Hidden[l-1]
+		}
+		d2 := squared(delta)
+		a2 := squared(below)
+		// diag(F)_Wl += (Δ∘Δ)ᵀ·(A∘A); biases get column sums of Δ∘Δ.
+		blas.Gemm(blas.Trans, blas.NoTrans, 1, d2, a2, 1, ow[l])
+		for i := 0; i < d2.Rows; i++ {
+			blas.Axpy(1, d2.Row(i), ob[l])
+		}
+		if l == 0 {
+			break
+		}
+		next := tensor.NewMatrix(delta.Rows, n.Topo.Sizes[l])
+		blas.Gemm(blas.NoTrans, blas.NoTrans, 1, delta, n.Weights[l], 0, next)
+		n.Act.hadamardDeriv(next, f.Hidden[l-1])
+		delta = next
+	}
+}
+
+// squared returns the elementwise square of m (compact copy).
+func squared(m *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = v * v
+		}
+	}
+	return out
+}

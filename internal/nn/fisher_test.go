@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Oracle: the Fisher diagonal computed frame by frame with full per-frame
+// gradients.
+func fisherDiagBrute(n *Network, x *tensor.Matrix, targets []int) tensor.Vector {
+	out := tensor.NewVector(n.NumParams())
+	for i := 0; i < x.Rows; i++ {
+		g := tensor.NewVector(n.NumParams())
+		n.LossGrad(x.View(i, 0, 1, x.Cols), targets[i:i+1], g)
+		for j, v := range g {
+			out[j] += v * v
+		}
+	}
+	return out
+}
+
+func TestFisherDiagMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := testNet(t, 4, 6, 5, 3)
+	x := tensor.RandMatrix(rng, 9, 4, 1)
+	targets := make([]int, 9)
+	for i := range targets {
+		targets[i] = rng.Intn(3)
+	}
+	fast := tensor.NewVector(n.NumParams())
+	n.FisherDiag(x, targets, fast)
+	want := fisherDiagBrute(n, x, targets)
+	for i := range want {
+		if math.Abs(float64(fast[i]-want[i])) > 1e-3*(1+math.Abs(float64(want[i]))) {
+			t.Fatalf("param %d: fast %v vs brute %v", i, fast[i], want[i])
+		}
+	}
+}
+
+func TestFisherDiagNonNegativeAndAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := testNet(t, 3, 4, 2)
+	x := tensor.RandMatrix(rng, 5, 3, 1)
+	targets := []int{0, 1, 0, 1, 0}
+	d1 := tensor.NewVector(n.NumParams())
+	n.FisherDiag(x, targets, d1)
+	for i, v := range d1 {
+		if v < 0 {
+			t.Fatalf("negative Fisher diagonal at %d: %v", i, v)
+		}
+	}
+	d2 := d1.Clone()
+	n.FisherDiag(x, targets, d2)
+	for i := range d2 {
+		if math.Abs(float64(d2[i]-2*d1[i])) > 1e-4*(1+math.Abs(float64(d1[i]))) {
+			t.Fatal("FisherDiag must accumulate")
+		}
+	}
+}
+
+func TestFisherDiagShapePanics(t *testing.T) {
+	n := testNet(t, 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.FisherDiag(tensor.NewMatrix(1, 3), []int{0}, make(tensor.Vector, 3))
+}
+
+func TestFisherDiagBadTargetPanics(t *testing.T) {
+	n := testNet(t, 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.FisherDiag(tensor.NewMatrix(1, 3), []int{7}, tensor.NewVector(n.NumParams()))
+}

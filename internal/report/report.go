@@ -1,0 +1,250 @@
+// Package report renders the paper's tables and figures from simulator
+// and trainer outputs as text, shared by cmd/bgqsim, cmd/experiments and
+// the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/bgq"
+	"repro/internal/corpus"
+	"repro/internal/workload"
+)
+
+// Fig1Configs are the Blue Gene/Q configurations of Figure 1.
+func Fig1Configs(twoRacks bool) []bgq.Config {
+	cfgs := []bgq.Config{
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 16},
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 32},
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64},
+		{Ranks: 2048, RanksPerNode: 2, ThreadsPerRank: 32},
+		{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16},
+	}
+	if twoRacks {
+		cfgs = append(cfgs, bgq.Config{Ranks: 8192, RanksPerNode: 4, ThreadsPerRank: 16})
+	}
+	return cfgs
+}
+
+// Fig1 runs the Figure 1 sweep (execution time per configuration) and
+// writes the series the paper plots.
+func Fig1(w io.Writer, counts workload.AlgoCounts, twoRacks bool, title string) error {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s %12s %10s\n", "config", "exec time(s)", "hours")
+	m := bgq.BlueGeneQ()
+	for _, cfg := range Fig1Configs(twoRacks) {
+		r, err := workload.Simulate(m, cfg, counts, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %12.0f %10.2f\n", cfg.Label(), r.TotalSec, r.TotalSec/3600)
+	}
+	return nil
+}
+
+// cycleConfigs are the three configurations of Figures 2-5.
+func cycleConfigs() []bgq.Config {
+	return []bgq.Config{
+		{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64},
+		{Ranks: 2048, RanksPerNode: 2, ThreadsPerRank: 32},
+		{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16},
+	}
+}
+
+// sortedPhases returns the report's phase names in stable order.
+func sortedPhases(r workload.RankReport) []string {
+	names := make([]string, 0, len(r))
+	for n := range r {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CycleBreakdown writes the Figure 2/3 per-function cycle breakdowns
+// (committed / AXU-FXU dependency stalls / IU-empty) for the master or
+// the mean worker across the three paper configurations.
+func CycleBreakdown(w io.Writer, counts workload.AlgoCounts, master bool, title string) error {
+	fmt.Fprintf(w, "%s\n", title)
+	m := bgq.BlueGeneQ()
+	for _, cfg := range cycleConfigs() {
+		r, err := workload.Simulate(m, cfg, counts, nil)
+		if err != nil {
+			return err
+		}
+		rep := r.WorkerMean
+		if master {
+			rep = r.Master
+		}
+		fmt.Fprintf(w, "-- %s --\n", cfg.Label())
+		fmt.Fprintf(w, "%-26s %14s %14s %14s\n", "function", "committed", "AXU/FXU_stall", "IU_empty")
+		for _, name := range sortedPhases(rep) {
+			c := rep[name].Cycles
+			if c.Total() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-26s %14.3e %14.3e %14.3e\n", name, c.Committed, c.AXUStall, c.IUEmpty)
+		}
+	}
+	return nil
+}
+
+// MPIBreakdown writes the Figure 4/5 per-function MPI time split into
+// collective and point-to-point seconds.
+func MPIBreakdown(w io.Writer, counts workload.AlgoCounts, master bool, title string) error {
+	fmt.Fprintf(w, "%s\n", title)
+	m := bgq.BlueGeneQ()
+	for _, cfg := range cycleConfigs() {
+		r, err := workload.Simulate(m, cfg, counts, nil)
+		if err != nil {
+			return err
+		}
+		rep := r.WorkerMean
+		if master {
+			rep = r.Master
+		}
+		fmt.Fprintf(w, "-- %s --\n", cfg.Label())
+		fmt.Fprintf(w, "%-26s %14s %14s\n", "function", "collective(s)", "p2p(s)")
+		for _, name := range sortedPhases(rep) {
+			p := rep[name]
+			if p.CollSec == 0 && p.P2PSec == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-26s %14.2f %14.2f\n", name, p.CollSec, p.P2PSec)
+		}
+	}
+	return nil
+}
+
+// Table1Row is one row of the paper's Table I, extended with the §VIII
+// energy comparison (kWh per training run on each platform).
+type Table1Row struct {
+	Label        string
+	IntelHours   float64
+	BGQHours     float64
+	SpeedUp      float64
+	FreqAdjusted float64
+	IntelKWh     float64
+	BGQKWh       float64
+}
+
+// Table1 computes the Table I comparison for both criteria.
+func Table1() ([]Table1Row, error) {
+	bg := bgq.BlueGeneQ()
+	intel := bgq.IntelXeonCluster()
+	intelCfg := bgq.Config{Ranks: 96, RanksPerNode: 2, ThreadsPerRank: 8}
+	bgCfg := bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}
+	freq := intel.Node.ClockHz / bg.Node.ClockHz
+
+	var rows []Table1Row
+	for _, spec := range []struct {
+		label string
+		seq   bool
+	}{
+		{"50-hour Cross-Entropy", false},
+		{"50-hour Sequence", true},
+	} {
+		counts := workload.Preset50h(spec.seq)
+		ri, err := workload.Simulate(intel, intelCfg, counts, nil)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := workload.Simulate(bg, bgCfg, counts, nil)
+		if err != nil {
+			return nil, err
+		}
+		sp := ri.TotalSec / rb.TotalSec
+		rows = append(rows, Table1Row{
+			Label:        spec.label,
+			IntelHours:   ri.TotalSec / 3600,
+			BGQHours:     rb.TotalSec / 3600,
+			SpeedUp:      sp,
+			FreqAdjusted: sp * freq,
+			IntelKWh:     intel.EnergyKWh(intelCfg, ri.TotalSec),
+			BGQKWh:       bg.EnergyKWh(bgCfg, rb.TotalSec),
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders Table I in the paper's column layout, extended with
+// the energy comparison of §VIII.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "TABLE I. SCALING UP PERFORMANCE")
+	fmt.Fprintf(w, "%-24s %16s %14s %9s %10s %11s %10s\n",
+		"Training data", "Intel Xeon (hrs)", "BG/Q 4096 (hrs)", "Speed Up", "Freq Adj", "Intel kWh", "BG/Q kWh")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %16.1f %14.2f %8.1fx %9.1fx %11.0f %10.0f\n",
+			r.Label, r.IntelHours, r.BGQHours, r.SpeedUp, r.FreqAdjusted, r.IntelKWh, r.BGQKWh)
+	}
+}
+
+// Scaling writes the rank-scaling study (§I/§VIII claims).
+func Scaling(w io.Writer, counts workload.AlgoCounts) error {
+	fmt.Fprintln(w, "Scaling study: 50-hour cross-entropy, ranks-4-16 configurations")
+	fmt.Fprintf(w, "%-8s %12s %9s %8s %6s\n", "ranks", "time(s)", "speedup", "ideal", "eff")
+	m := bgq.BlueGeneQ()
+	var base float64
+	for _, ranks := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
+		cfg := bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}
+		r, err := workload.Simulate(m, cfg, counts, nil)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = r.TotalSec
+		}
+		sp := base / r.TotalSec
+		ideal := float64(ranks) / 64
+		fmt.Fprintf(w, "%-8d %12.0f %9.2f %8.0f %6.2f\n", ranks, r.TotalSec, sp, ideal, sp/ideal)
+	}
+	return nil
+}
+
+// LoadBalance writes the §V-C partitioning ablation.
+func LoadBalance(w io.Writer, counts workload.AlgoCounts) error {
+	fmt.Fprintln(w, "Load-balance ablation (§V-C): round-robin vs sorted-greedy utterance partitioning")
+	fmt.Fprintf(w, "%-8s %-14s %12s %11s\n", "ranks", "partitioner", "time(s)", "imbalance")
+	m := bgq.BlueGeneQ()
+	lengths := corpus.GenerateLengths(corpus.Config{Seed: 42, NumUtterances: 45000})
+	for _, ranks := range []int{256, 1024, 4096} {
+		cfg := bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}
+		for _, part := range []corpus.Partitioner{corpus.RoundRobin{}, corpus.SortedGreedy{}} {
+			shards := workload.ShardsFromPartition(lengths, cfg.Ranks-1, part, counts.TrainFrames)
+			r, err := workload.Simulate(m, cfg, counts, shards)
+			if err != nil {
+				return err
+			}
+			utts := corpus.UtterancesFromLengths(lengths)
+			bal := corpus.MeasureBalance(part.Partition(utts, cfg.Ranks-1))
+			fmt.Fprintf(w, "%-8d %-14s %12.0f %11.3f\n", ranks, part.Name(), r.TotalSec, bal.Imbalance)
+		}
+	}
+	return nil
+}
+
+// WeightSync writes the §V-B socket-era p2p vs MPI broadcast comparison.
+func WeightSync(w io.Writer, counts workload.AlgoCounts) error {
+	fmt.Fprintln(w, "Weight synchronization (§V-B): serial p2p push vs MPI_Bcast")
+	fmt.Fprintf(w, "%-8s %14s %14s %9s\n", "ranks", "p2p(s)", "bcast(s)", "ratio")
+	m := bgq.BlueGeneQ()
+	for _, ranks := range []int{64, 256, 1024, 4096} {
+		cfg := bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}
+		shape, err := torusShape(cfg)
+		if err != nil {
+			return err
+		}
+		p2p := workload.WeightSyncP2PTime(m, cfg, counts.ParamBytes())
+		bc := m.BcastTime(counts.ParamBytes(), cfg, shape)
+		fmt.Fprintf(w, "%-8d %14.2f %14.4f %8.0fx\n", ranks, p2p, bc, p2p/bc)
+	}
+	return nil
+}
+
+// Separator writes a section separator.
+func Separator(w io.Writer) {
+	fmt.Fprintln(w, strings.Repeat("=", 72))
+}

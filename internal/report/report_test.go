@@ -1,0 +1,160 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// small shrinks a workload so report tests stay fast: tiny data and few
+// iterations keep every Simulate call cheap while exercising the full
+// rendering path.
+func small() workload.AlgoCounts {
+	c := workload.Preset50h(false)
+	c.TrainFrames = 200_000
+	c.HeldFrames = 10_000
+	c.SampleFrames = 4_000
+	c.CGItersPerHF = 5
+	c.LossEvalsPerHF = 2
+	c.HFIters = 2
+	return c
+}
+
+func TestFig1Configs(t *testing.T) {
+	one := Fig1Configs(false)
+	two := Fig1Configs(true)
+	if len(two) != len(one)+1 {
+		t.Fatalf("two-rack sweep should add one config: %d vs %d", len(two), len(one))
+	}
+	if two[len(two)-1].Ranks != 8192 {
+		t.Fatal("two-rack config missing")
+	}
+	for _, cfg := range one {
+		if cfg.Ranks/cfg.RanksPerNode > 1024 {
+			t.Fatalf("one-rack sweep uses %d nodes", cfg.Ranks/cfg.RanksPerNode)
+		}
+	}
+}
+
+func TestFig1Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(&buf, small(), false, "Figure 1(a) test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1(a) test", "1024-1-64", "2048-2-32", "4096-4-16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCycleBreakdownRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CycleBreakdown(&buf, small(), true, "Fig 2 test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cg_minimize", "load_data", "AXU/FXU_stall", "4096-4-16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("master breakdown missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := CycleBreakdown(&buf, small(), false, "Fig 3 test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "worker_curvature_product") {
+		t.Fatal("worker breakdown missing worker_curvature_product")
+	}
+}
+
+func TestMPIBreakdownRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MPIBreakdown(&buf, small(), true, "Fig 4 test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "collective(s)") || !strings.Contains(buf.String(), "load_data") {
+		t.Fatalf("MPI breakdown malformed:\n%s", buf.String())
+	}
+}
+
+func TestTable1RowsSane(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	ce, seq := rows[0], rows[1]
+	if !strings.Contains(ce.Label, "Cross-Entropy") || !strings.Contains(seq.Label, "Sequence") {
+		t.Fatalf("labels: %q %q", ce.Label, seq.Label)
+	}
+	for _, r := range rows {
+		if r.SpeedUp <= 1 || r.IntelHours <= r.BGQHours {
+			t.Fatalf("BG/Q must win: %+v", r)
+		}
+		if r.FreqAdjusted <= r.SpeedUp {
+			t.Fatalf("frequency adjustment must raise the speedup: %+v", r)
+		}
+	}
+	if seq.SpeedUp >= ce.SpeedUp {
+		t.Fatalf("sequence speedup %v must trail CE %v", seq.SpeedUp, ce.SpeedUp)
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "TABLE I") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestScalingRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scaling(&buf, small()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ranks", "16384", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scaling output missing %q", want)
+		}
+	}
+}
+
+func TestWeightSyncRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WeightSync(&buf, small()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bcast(s)") {
+		t.Fatal("weight-sync table malformed")
+	}
+}
+
+func TestSeparator(t *testing.T) {
+	var buf bytes.Buffer
+	Separator(&buf)
+	if len(strings.TrimSpace(buf.String())) < 10 {
+		t.Fatal("separator too short")
+	}
+}
+
+// §VIII energy claim at the run level: BG/Q must finish the training for
+// less energy than the Xeon cluster despite using far more nodes.
+func TestTable1EnergyClaim(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BGQKWh <= 0 || r.IntelKWh <= 0 {
+			t.Fatalf("energy missing: %+v", r)
+		}
+		if r.BGQKWh >= 2.0*r.IntelKWh {
+			t.Fatalf("%s: BG/Q energy %v kWh should not dwarf Intel's %v kWh", r.Label, r.BGQKWh, r.IntelKWh)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package report
+
+import (
+	"repro/internal/bgq"
+	"repro/internal/torus"
+)
+
+// torusShape resolves the torus shape of a BG/Q configuration.
+func torusShape(cfg bgq.Config) (torus.Shape, error) {
+	return torus.ShapeFor(cfg.Nodes())
+}

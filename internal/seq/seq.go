@@ -1,0 +1,206 @@
+// Package seq implements an utterance-level sequence training criterion,
+// the stand-in for the lattice-based discriminative ("sequence") objective
+// of the paper's Table I second row.
+//
+// The criterion is a linear-chain log-linear model over HMM states: a path
+// scores the sum of per-frame DNN logits plus fixed transition scores, and
+// the loss of an utterance is the negative log-posterior of its reference
+// state sequence, computed exactly with the forward-backward algorithm in
+// the log domain. Gradients with respect to the logits are posterior state
+// marginals minus the reference one-hots and are backpropagated through
+// the DNN by the nn package.
+//
+// This preserves what the paper's sequence criterion exercises at the
+// systems level: per-utterance (not per-frame) work whose cost grows with
+// utterance length, a different compute/communication ratio than
+// cross-entropy, and gradients that couple frames within an utterance.
+package seq
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/tensor"
+)
+
+// Transitions holds the fixed log-domain transition model of the chain:
+// Init[s] scores starting in s and Trans[s'][s] scores moving s'→s.
+type Transitions struct {
+	NumStates int
+	Init      []float64
+	Trans     [][]float64
+}
+
+// Uniform returns a transition model that is uniform except for a bonus on
+// self-loops, mimicking HMM state persistence. bonus is in log-space
+// (e.g. 2.0 makes staying e²≈7.4× likelier than switching).
+func Uniform(states int, selfLoopBonus float64) Transitions {
+	tr := Transitions{
+		NumStates: states,
+		Init:      make([]float64, states),
+		Trans:     make([][]float64, states),
+	}
+	for s := range tr.Trans {
+		tr.Trans[s] = make([]float64, states)
+		tr.Trans[s][s] = selfLoopBonus
+	}
+	return tr
+}
+
+// Estimate builds a transition model from reference state bigrams in the
+// given utterances with add-one smoothing, normalized to log-probabilities.
+func Estimate(utts []*corpus.Utterance, states int) Transitions {
+	initCounts := make([]float64, states)
+	counts := make([][]float64, states)
+	for s := range counts {
+		counts[s] = make([]float64, states)
+		for j := range counts[s] {
+			counts[s][j] = 1 // add-one smoothing
+		}
+		initCounts[s] = 1
+	}
+	for _, u := range utts {
+		if len(u.States) == 0 {
+			continue
+		}
+		initCounts[u.States[0]]++
+		for t := 1; t < len(u.States); t++ {
+			counts[u.States[t-1]][u.States[t]]++
+		}
+	}
+	tr := Transitions{
+		NumStates: states,
+		Init:      make([]float64, states),
+		Trans:     make([][]float64, states),
+	}
+	var initTotal float64
+	for _, c := range initCounts {
+		initTotal += c
+	}
+	for s := range tr.Init {
+		tr.Init[s] = math.Log(initCounts[s] / initTotal)
+	}
+	for s := range counts {
+		var total float64
+		for _, c := range counts[s] {
+			total += c
+		}
+		tr.Trans[s] = make([]float64, states)
+		for j := range counts[s] {
+			tr.Trans[s][j] = math.Log(counts[s][j] / total)
+		}
+	}
+	return tr
+}
+
+// LossGrad computes the sequence loss of one utterance and its gradient
+// with respect to the logits.
+//
+// logits is T×S (frames × states), ref the reference state per frame.
+// dlogits, also T×S, receives γ_t(s) − 1{s == ref_t} where γ are the
+// posterior marginals; it is overwritten. The returned loss is
+// logZ − score(ref) ≥ 0, summed over the utterance.
+func LossGrad(logits *tensor.Matrix, ref []int, tr Transitions, dlogits *tensor.Matrix) float64 {
+	T, S := logits.Rows, logits.Cols
+	if S != tr.NumStates {
+		panic(fmt.Sprintf("seq: %d states in logits, transitions have %d", S, tr.NumStates))
+	}
+	if len(ref) != T {
+		panic(fmt.Sprintf("seq: %d reference states for %d frames", len(ref), T))
+	}
+	if dlogits.Rows != T || dlogits.Cols != S {
+		panic("seq: dlogits shape mismatch")
+	}
+	if T == 0 {
+		return 0
+	}
+
+	// Forward pass (log domain): alpha[t][s].
+	alpha := make([][]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, S)
+	}
+	row0 := logits.Row(0)
+	for s := 0; s < S; s++ {
+		alpha[0][s] = tr.Init[s] + float64(row0[s])
+	}
+	work := make([]float64, S)
+	for t := 1; t < T; t++ {
+		row := logits.Row(t)
+		for s := 0; s < S; s++ {
+			for sp := 0; sp < S; sp++ {
+				work[sp] = alpha[t-1][sp] + tr.Trans[sp][s]
+			}
+			alpha[t][s] = logSumExp(work) + float64(row[s])
+		}
+	}
+	logZ := logSumExp(alpha[T-1])
+
+	// Backward pass: beta[t][s].
+	beta := make([][]float64, T)
+	for t := range beta {
+		beta[t] = make([]float64, S)
+	}
+	for t := T - 2; t >= 0; t-- {
+		rowNext := logits.Row(t + 1)
+		for s := 0; s < S; s++ {
+			for sn := 0; sn < S; sn++ {
+				work[sn] = tr.Trans[s][sn] + float64(rowNext[sn]) + beta[t+1][sn]
+			}
+			beta[t][s] = logSumExp(work)
+		}
+	}
+
+	// Reference path score.
+	score := tr.Init[ref[0]] + float64(logits.At(0, ref[0]))
+	for t := 1; t < T; t++ {
+		score += tr.Trans[ref[t-1]][ref[t]] + float64(logits.At(t, ref[t]))
+	}
+
+	// Gradient: posterior marginals minus reference one-hots.
+	for t := 0; t < T; t++ {
+		dst := dlogits.Row(t)
+		for s := 0; s < S; s++ {
+			dst[s] = float32(math.Exp(alpha[t][s] + beta[t][s] - logZ))
+		}
+		dst[ref[t]] -= 1
+	}
+	return logZ - score
+}
+
+// Marginals returns the posterior state marginals γ_t(s) as a T×S matrix.
+// Rows sum to 1. Exposed for tests and diagnostics.
+func Marginals(logits *tensor.Matrix, tr Transitions) *tensor.Matrix {
+	T, S := logits.Rows, logits.Cols
+	g := tensor.NewMatrix(T, S)
+	if T == 0 {
+		return g
+	}
+	ref := make([]int, T) // dummy reference; marginals don't depend on it
+	d := tensor.NewMatrix(T, S)
+	LossGrad(logits, ref, tr, d)
+	for t := 0; t < T; t++ {
+		copy(g.Row(t), d.Row(t))
+		g.Row(t)[ref[t]] += 1
+	}
+	return g
+}
+
+// logSumExp returns log Σ exp(x_i), guarded against overflow.
+func logSumExp(x []float64) float64 {
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(v - max)
+	}
+	return max + math.Log(sum)
+}

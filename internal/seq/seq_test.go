@@ -1,0 +1,231 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/tensor"
+)
+
+func TestUniformTransitions(t *testing.T) {
+	tr := Uniform(4, 2)
+	if tr.NumStates != 4 {
+		t.Fatal("states")
+	}
+	if tr.Trans[1][1] != 2 || tr.Trans[1][2] != 0 {
+		t.Fatal("self-loop bonus wrong")
+	}
+	for _, v := range tr.Init {
+		if v != 0 {
+			t.Fatal("init must be uniform")
+		}
+	}
+}
+
+func TestEstimateNormalized(t *testing.T) {
+	c := corpus.Generate(corpus.Config{Seed: 1, NumUtterances: 30, NumStates: 5})
+	tr := Estimate(c.Utts, 5)
+	var initSum float64
+	for _, v := range tr.Init {
+		initSum += math.Exp(v)
+	}
+	if math.Abs(initSum-1) > 1e-9 {
+		t.Fatalf("init probs sum to %v", initSum)
+	}
+	for s := range tr.Trans {
+		var sum float64
+		for _, v := range tr.Trans[s] {
+			sum += math.Exp(v)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", s, sum)
+		}
+	}
+	// Self-loops dominate under the segmental generator (mean segment 12).
+	if tr.Trans[0][0] <= tr.Trans[0][1] {
+		t.Fatal("self-loop should be likeliest transition")
+	}
+}
+
+func TestLossNonNegativeAndZeroGradAtCertainty(t *testing.T) {
+	// Logits hugely favoring the reference path → loss ≈ 0, grad ≈ 0.
+	T, S := 5, 3
+	ref := []int{0, 0, 1, 1, 2}
+	logits := tensor.NewMatrix(T, S)
+	for t2 := 0; t2 < T; t2++ {
+		logits.Set(t2, ref[t2], 50)
+	}
+	d := tensor.NewMatrix(T, S)
+	tr := Uniform(S, 0)
+	loss := LossGrad(logits, ref, tr, d)
+	if loss < 0 || loss > 1e-6 {
+		t.Fatalf("loss %v, want ≈0", loss)
+	}
+	if tensor.MaxAbsDiff(d, tensor.NewMatrix(T, S)) > 1e-6 {
+		t.Fatal("gradient should vanish at certainty")
+	}
+}
+
+func TestLossSingleFrameEqualsCE(t *testing.T) {
+	// With T=1 and uniform init, the chain posterior is the softmax, so the
+	// loss must equal frame-level cross-entropy.
+	logits := tensor.FromSlice(1, 3, []float32{1, 2, 0.5})
+	d := tensor.NewMatrix(1, 3)
+	loss := LossGrad(logits, []int{1}, Uniform(3, 0), d)
+	var z float64
+	for _, v := range logits.Row(0) {
+		z += math.Exp(float64(v))
+	}
+	want := math.Log(z) - 2
+	if math.Abs(loss-want) > 1e-6 {
+		t.Fatalf("loss %v, want %v", loss, want)
+	}
+	// Gradient = softmax - onehot.
+	p1 := math.Exp(2) / z
+	if math.Abs(float64(d.At(0, 1))-(p1-1)) > 1e-5 {
+		t.Fatalf("grad %v, want %v", d.At(0, 1), p1-1)
+	}
+}
+
+func TestMarginalsRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	logits := tensor.RandMatrix(rng, 12, 4, 2)
+	g := Marginals(logits, Uniform(4, 1.5))
+	for t2 := 0; t2 < g.Rows; t2++ {
+		var sum float64
+		for _, v := range g.Row(t2) {
+			if v < -1e-6 {
+				t.Fatal("negative marginal")
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("frame %d marginals sum to %v", t2, sum)
+		}
+	}
+}
+
+// Gradient check: dlogits from forward-backward vs finite differences of
+// the loss with respect to individual logits.
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	T, S := 6, 4
+	logits := tensor.RandMatrix(rng, T, S, 1)
+	ref := make([]int, T)
+	for i := range ref {
+		ref[i] = rng.Intn(S)
+	}
+	tr := Uniform(S, 1)
+	d := tensor.NewMatrix(T, S)
+	LossGrad(logits, ref, tr, d)
+
+	const eps = 1e-3
+	for trial := 0; trial < 30; trial++ {
+		ti, si := rng.Intn(T), rng.Intn(S)
+		orig := logits.At(ti, si)
+		dd := tensor.NewMatrix(T, S)
+		logits.Set(ti, si, orig+eps)
+		lp := LossGrad(logits, ref, tr, dd)
+		logits.Set(ti, si, orig-eps)
+		lm := LossGrad(logits, ref, tr, dd)
+		logits.Set(ti, si, orig)
+		fd := (lp - lm) / (2 * eps)
+		if math.Abs(fd-float64(d.At(ti, si))) > 5e-3 {
+			t.Fatalf("logit (%d,%d): analytic %v vs FD %v", ti, si, d.At(ti, si), fd)
+		}
+	}
+}
+
+// Property: loss is invariant to adding a constant to all logits of a
+// frame (softmax shift invariance carries over to the chain).
+func TestShiftInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(shift float32, frameSeed uint8) bool {
+		if math.IsNaN(float64(shift)) || math.Abs(float64(shift)) > 20 {
+			return true
+		}
+		T, S := 5, 3
+		logits := tensor.RandMatrix(rng, T, S, 1)
+		ref := []int{0, 1, 2, 1, 0}
+		tr := Uniform(S, 0.5)
+		d := tensor.NewMatrix(T, S)
+		l1 := LossGrad(logits, ref, tr, d)
+		fi := int(frameSeed) % T
+		for s := 0; s < S; s++ {
+			logits.Set(fi, s, logits.At(fi, s)+shift)
+		}
+		l2 := LossGrad(logits, ref, tr, d)
+		return math.Abs(l1-l2) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyUtterance(t *testing.T) {
+	logits := tensor.NewMatrix(0, 3)
+	d := tensor.NewMatrix(0, 3)
+	if loss := LossGrad(logits, nil, Uniform(3, 0), d); loss != 0 {
+		t.Fatalf("empty loss %v", loss)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	logits := tensor.NewMatrix(2, 3)
+	d := tensor.NewMatrix(2, 3)
+	cases := []func(){
+		func() { LossGrad(logits, []int{0}, Uniform(3, 0), d) },                         // ref length
+		func() { LossGrad(logits, []int{0, 0}, Uniform(4, 0), d) },                      // state count
+		func() { LossGrad(logits, []int{0, 0}, Uniform(3, 0), tensor.NewMatrix(1, 3)) }, // dlogits shape
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLogSumExpStability(t *testing.T) {
+	if v := logSumExp([]float64{-1e308, -1e308}); math.IsNaN(v) {
+		t.Fatal("logSumExp NaN on tiny inputs")
+	}
+	if v := logSumExp([]float64{1000, 1000}); math.Abs(v-(1000+math.Log(2))) > 1e-9 {
+		t.Fatalf("logSumExp large inputs: %v", v)
+	}
+	if v := logSumExp([]float64{math.Inf(-1), math.Inf(-1)}); !math.IsInf(v, -1) {
+		t.Fatalf("logSumExp(-inf) = %v", v)
+	}
+}
+
+// Sequence loss should decrease when logits move toward the reference —
+// the descent-direction sanity check the trainer relies on.
+func TestGradientIsDescentDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	T, S := 8, 4
+	logits := tensor.RandMatrix(rng, T, S, 1)
+	ref := make([]int, T)
+	for i := range ref {
+		ref[i] = rng.Intn(S)
+	}
+	tr := Estimate(corpus.Generate(corpus.Config{Seed: 9, NumUtterances: 10, NumStates: S}).Utts, S)
+	d := tensor.NewMatrix(T, S)
+	l0 := LossGrad(logits, ref, tr, d)
+	// Step opposite the gradient.
+	for t2 := 0; t2 < T; t2++ {
+		for s := 0; s < S; s++ {
+			logits.Set(t2, s, logits.At(t2, s)-0.1*d.At(t2, s))
+		}
+	}
+	l1 := LossGrad(logits, ref, tr, d)
+	if l1 >= l0 {
+		t.Fatalf("loss did not decrease along negative gradient: %v → %v", l0, l1)
+	}
+}

@@ -1,0 +1,93 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Viterbi returns the maximum-score state path through the chain for the
+// given logits under the transition model — the decoding step that turns
+// acoustic-model outputs into recognized sequences. The paper evaluates
+// recognition quality as word-error-rate; with the synthetic task, the
+// Viterbi path against the reference states gives the analogous
+// state-error-rate.
+func Viterbi(logits *tensor.Matrix, tr Transitions) []int {
+	T, S := logits.Rows, logits.Cols
+	if S != tr.NumStates {
+		panic(fmt.Sprintf("seq: %d states in logits, transitions have %d", S, tr.NumStates))
+	}
+	if T == 0 {
+		return nil
+	}
+	score := make([][]float64, T)
+	back := make([][]int, T)
+	for t := range score {
+		score[t] = make([]float64, S)
+		back[t] = make([]int, S)
+	}
+	row0 := logits.Row(0)
+	for s := 0; s < S; s++ {
+		score[0][s] = tr.Init[s] + float64(row0[s])
+	}
+	for t := 1; t < T; t++ {
+		row := logits.Row(t)
+		for s := 0; s < S; s++ {
+			bestPrev, bestScore := 0, score[t-1][0]+tr.Trans[0][s]
+			for sp := 1; sp < S; sp++ {
+				if v := score[t-1][sp] + tr.Trans[sp][s]; v > bestScore {
+					bestPrev, bestScore = sp, v
+				}
+			}
+			score[t][s] = bestScore + float64(row[s])
+			back[t][s] = bestPrev
+		}
+	}
+	best := 0
+	for s := 1; s < S; s++ {
+		if score[T-1][s] > score[T-1][best] {
+			best = s
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = best
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = back[t][path[t]]
+	}
+	return path
+}
+
+// PathScore returns the chain score of a given state path (init +
+// transitions + per-frame logits); Viterbi maximizes this quantity.
+func PathScore(logits *tensor.Matrix, path []int, tr Transitions) float64 {
+	if len(path) != logits.Rows {
+		panic(fmt.Sprintf("seq: path length %d for %d frames", len(path), logits.Rows))
+	}
+	if len(path) == 0 {
+		return 0
+	}
+	score := tr.Init[path[0]] + float64(logits.At(0, path[0]))
+	for t := 1; t < len(path); t++ {
+		score += tr.Trans[path[t-1]][path[t]] + float64(logits.At(t, path[t]))
+	}
+	return score
+}
+
+// StateErrorRate returns the fraction of frames whose decoded state
+// differs from the reference — the synthetic-task stand-in for the
+// paper's word-error-rate metric.
+func StateErrorRate(decoded, ref []int) float64 {
+	if len(decoded) != len(ref) {
+		panic(fmt.Sprintf("seq: %d decoded states for %d references", len(decoded), len(ref)))
+	}
+	if len(ref) == 0 {
+		return 0
+	}
+	errs := 0
+	for i := range ref {
+		if decoded[i] != ref[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(ref))
+}

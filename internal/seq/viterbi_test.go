@@ -1,0 +1,188 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// bruteBestPath enumerates all S^T paths — the oracle for Viterbi on tiny
+// chains.
+func bruteBestPath(logits *tensor.Matrix, tr Transitions) ([]int, float64) {
+	T, S := logits.Rows, logits.Cols
+	best := make([]int, T)
+	bestScore := math.Inf(-1)
+	path := make([]int, T)
+	var rec func(t int)
+	rec = func(t int) {
+		if t == T {
+			if s := PathScore(logits, path, tr); s > bestScore {
+				bestScore = s
+				copy(best, path)
+			}
+			return
+		}
+		for s := 0; s < S; s++ {
+			path[t] = s
+			rec(t + 1)
+		}
+	}
+	rec(0)
+	return best, bestScore
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		T, S := 2+rng.Intn(4), 2+rng.Intn(3)
+		logits := tensor.RandMatrix(rng, T, S, 2)
+		tr := Uniform(S, rng.Float64()*2)
+		got := Viterbi(logits, tr)
+		want, wantScore := bruteBestPath(logits, tr)
+		gotScore := PathScore(logits, got, tr)
+		if math.Abs(gotScore-wantScore) > 1e-9 {
+			t.Fatalf("trial %d: viterbi score %v vs brute %v (paths %v vs %v)",
+				trial, gotScore, wantScore, got, want)
+		}
+	}
+}
+
+// Property: no random path scores above the Viterbi path.
+func TestViterbiOptimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T, S := 3+r.Intn(6), 2+r.Intn(4)
+		logits := tensor.RandMatrix(rng, T, S, 1.5)
+		tr := Uniform(S, 1)
+		vit := Viterbi(logits, tr)
+		vitScore := PathScore(logits, vit, tr)
+		for trial := 0; trial < 10; trial++ {
+			path := make([]int, T)
+			for i := range path {
+				path[i] = r.Intn(S)
+			}
+			if PathScore(logits, path, tr) > vitScore+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViterbiObviousPath(t *testing.T) {
+	// Logits massively favor states 0,0,1,1: Viterbi must return exactly
+	// that.
+	logits := tensor.NewMatrix(4, 2)
+	want := []int{0, 0, 1, 1}
+	for t2, s := range want {
+		logits.Set(t2, s, 30)
+	}
+	got := Viterbi(logits, Uniform(2, 0.5))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path %v, want %v", got, want)
+		}
+	}
+}
+
+func TestViterbiSelfLoopBiasSmoothsPath(t *testing.T) {
+	// Ambiguous frame in the middle: with a strong self-loop bonus the
+	// decoder should stay in the current state rather than flip-flop.
+	logits := tensor.FromSlice(3, 2, []float32{
+		5, 0,
+		2.4, 2.5, // nearly tied, slightly favors state 1
+		5, 0,
+	})
+	sticky := Viterbi(logits, Uniform(2, 3))
+	if sticky[0] != 0 || sticky[1] != 0 || sticky[2] != 0 {
+		t.Fatalf("sticky transitions should hold state 0: %v", sticky)
+	}
+	free := Viterbi(logits, Uniform(2, 0))
+	if free[1] != 1 {
+		t.Fatalf("free transitions should follow the logits: %v", free)
+	}
+}
+
+func TestViterbiEdgesAndPanics(t *testing.T) {
+	if got := Viterbi(tensor.NewMatrix(0, 3), Uniform(3, 0)); got != nil {
+		t.Fatal("empty chain must give nil path")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for state mismatch")
+			}
+		}()
+		Viterbi(tensor.NewMatrix(2, 3), Uniform(4, 0))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for path length")
+			}
+		}()
+		PathScore(tensor.NewMatrix(2, 3), []int{0}, Uniform(3, 0))
+	}()
+}
+
+func TestStateErrorRate(t *testing.T) {
+	if ser := StateErrorRate([]int{0, 1, 2, 2}, []int{0, 1, 1, 2}); math.Abs(ser-0.25) > 1e-12 {
+		t.Fatalf("SER %v, want 0.25", ser)
+	}
+	if StateErrorRate(nil, nil) != 0 {
+		t.Fatal("empty SER must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	StateErrorRate([]int{0}, []int{0, 1})
+}
+
+// End-to-end sanity: decoding smoothed logits built from the reference
+// with noise should beat frame-wise argmax when the noise flips isolated
+// frames (the transition prior cleans them up).
+func TestViterbiBeatsArgmaxUnderIsolatedNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	T, S := 60, 4
+	ref := make([]int, T)
+	state := 0
+	for t2 := range ref {
+		if rng.Float64() < 0.05 {
+			state = rng.Intn(S)
+		}
+		ref[t2] = state
+	}
+	logits := tensor.NewMatrix(T, S)
+	for t2 := 0; t2 < T; t2++ {
+		logits.Set(t2, ref[t2], 2)
+		// Occasionally corrupt a single frame hard.
+		if t2%7 == 3 {
+			logits.Set(t2, (ref[t2]+1)%S, 3)
+		}
+	}
+	argmax := make([]int, T)
+	for t2 := 0; t2 < T; t2++ {
+		row := logits.Row(t2)
+		best := 0
+		for s, v := range row {
+			if v > row[best] {
+				best = s
+			}
+		}
+		argmax[t2] = best
+	}
+	vit := Viterbi(logits, Uniform(S, 2.5))
+	if StateErrorRate(vit, ref) >= StateErrorRate(argmax, ref) {
+		t.Fatalf("viterbi SER %v should beat argmax SER %v",
+			StateErrorRate(vit, ref), StateErrorRate(argmax, ref))
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import "fmt"
+
+// Message is a simulated network payload descriptor.
+type Message struct {
+	Src   int
+	Tag   int
+	Bytes int
+	// Payload carries optional metadata for the receiving program.
+	Payload interface{}
+}
+
+// Mailbox is a FIFO message queue with blocking receive, the endpoint of
+// simulated point-to-point communication.
+type Mailbox struct {
+	eng    *Engine
+	queue  []Message
+	waiter *Process
+}
+
+// NewMailbox creates a mailbox on the engine.
+func NewMailbox(e *Engine) *Mailbox { return &Mailbox{eng: e} }
+
+// Put delivers a message at the current virtual time, waking a blocked
+// receiver.
+func (m *Mailbox) Put(msg Message) {
+	m.queue = append(m.queue, msg)
+	if m.waiter != nil {
+		w := m.waiter
+		m.waiter = nil
+		m.eng.Wake(m.eng.now, w)
+	}
+}
+
+// PutAt delivers a message at absolute virtual time t.
+func (m *Mailbox) PutAt(t float64, msg Message) {
+	m.eng.At(t, func() { m.Put(msg) })
+}
+
+// Get blocks the calling process until a message is available and returns
+// the oldest one.
+func (m *Mailbox) Get(p *Process) Message {
+	for len(m.queue) == 0 {
+		if m.waiter != nil {
+			panic("sim: two processes blocked on one mailbox")
+		}
+		m.waiter = p
+		p.Suspend()
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg
+}
+
+// Resource is a FIFO-serialized facility (e.g. a network link): requests
+// occupy it back to back. It supports reservations made on behalf of
+// in-flight messages, not only by running processes.
+type Resource struct {
+	Name   string
+	freeAt float64
+	// Busy accumulates total occupied seconds, for utilization reports.
+	Busy float64
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// ReserveAt books the resource for dur seconds starting no earlier than t
+// and returns the completion time.
+func (r *Resource) ReserveAt(t, dur float64) float64 {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative reservation %v on %s", dur, r.Name))
+	}
+	start := t
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + dur
+	r.Busy += dur
+	return r.freeAt
+}
+
+// AcquireFor blocks process p while it occupies the resource for dur
+// seconds (queued FIFO behind earlier reservations).
+func (r *Resource) AcquireFor(p *Process, dur float64) {
+	end := r.ReserveAt(p.eng.now, dur)
+	p.WaitUntil(end)
+}
+
+// Gate synchronizes a fixed set of processes, the building block of the
+// simulated MPI collectives: all participants arrive, then all are
+// released at max(arrival) + hold, the straggler-gated timing of a
+// bulk-synchronous step.
+type Gate struct {
+	eng     *Engine
+	parties int
+	cycle   *gateCycle
+	// hold computes the collective's duration from the latest arrival.
+	hold func() float64
+}
+
+// gateCycle records one pass through the gate so late-woken waiters can
+// account their time even after the gate moved on to the next cycle.
+type gateCycle struct {
+	arrived int
+	maxT    float64
+	release float64
+	holdDur float64
+	waiting []*Process
+}
+
+// NewGate creates a gate for the given number of parties. hold returns
+// the time the collective occupies after the last arrival (e.g. the
+// broadcast transfer time); it is evaluated once per cycle.
+func NewGate(e *Engine, parties int, hold func() float64) *Gate {
+	if parties <= 0 {
+		panic("sim: gate needs ≥1 party")
+	}
+	return &Gate{eng: e, parties: parties, hold: hold}
+}
+
+// Wait enters the gate and blocks until all parties have arrived plus the
+// hold time. It returns (syncWait, holdTime): time spent waiting for
+// stragglers and time spent in the transfer itself. The gate resets for
+// reuse after each full cycle.
+func (g *Gate) Wait(p *Process) (syncWait, holdTime float64) {
+	if g.cycle == nil {
+		g.cycle = &gateCycle{}
+	}
+	c := g.cycle
+	arrival := g.eng.now
+	if arrival > c.maxT {
+		c.maxT = arrival
+	}
+	c.arrived++
+	if c.arrived < g.parties {
+		c.waiting = append(c.waiting, p)
+		p.Suspend()
+		return (c.release - arrival) - c.holdDur, c.holdDur
+	}
+	// Last arriver: compute release time, wake everyone, open a new cycle.
+	c.holdDur = g.hold()
+	c.release = c.maxT + c.holdDur
+	for _, w := range c.waiting {
+		g.eng.Wake(c.release, w)
+	}
+	g.cycle = &gateCycle{}
+	p.WaitUntil(c.release)
+	return c.maxT - arrival, c.holdDur
+}

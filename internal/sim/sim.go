@@ -1,0 +1,154 @@
+// Package sim is a deterministic process-oriented discrete-event
+// simulation engine. It underpins the Blue Gene/Q machine model used to
+// replay the paper's training runs at scales (1024-8192 MPI ranks) that
+// cannot be executed directly.
+//
+// Processes are goroutines that advance a shared virtual clock through
+// blocking primitives (Delay, Suspend, mailbox Get, resource reservation).
+// Exactly one goroutine — either the engine or a single process — runs at
+// any moment, handed off through unbuffered channels, so simulations are
+// fully deterministic: same inputs, same event order, same results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tiebreak for simultaneous events
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and event queue.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // process → engine control handoff
+	blocked int           // processes suspended without a scheduled wake
+	running bool
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// Process is a simulated thread of control. Its methods must only be
+// called from within the process's own function.
+type Process struct {
+	eng    *Engine
+	resume chan struct{}
+	// Name labels the process in diagnostics.
+	Name string
+}
+
+// Spawn creates a process that starts executing fn at the current virtual
+// time.
+func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
+	p := &Process{eng: e, resume: make(chan struct{}), Name: name}
+	e.At(e.now, func() {
+		go func() {
+			<-p.resume // wait for the engine's handoff
+			fn(p)
+			e.yield <- struct{}{} // return control on termination
+		}()
+		e.handoff(p)
+	})
+	return p
+}
+
+// handoff transfers control to p and waits until it blocks or terminates.
+func (e *Engine) handoff(p *Process) {
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Run executes events until the queue is empty. It returns the number of
+// processes still suspended with no scheduled wake — non-zero means the
+// simulated program deadlocked (e.g. a receive with no matching send).
+func (e *Engine) Run() int {
+	if e.running {
+		panic("sim: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.time
+		ev.fn()
+	}
+	return e.blocked
+}
+
+// yieldToEngine gives control back to the engine and blocks until resumed.
+func (p *Process) yieldToEngine() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Delay advances the process by d seconds of virtual time (d < 0 is an
+// error).
+func (p *Process) Delay(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	p.WaitUntil(p.eng.now + d)
+}
+
+// WaitUntil blocks the process until absolute virtual time t (no-op if t
+// is in the past).
+func (p *Process) WaitUntil(t float64) {
+	if t <= p.eng.now {
+		return
+	}
+	e := p.eng
+	e.At(t, func() { e.handoff(p) })
+	p.yieldToEngine()
+}
+
+// Suspend blocks the process indefinitely; only Engine.Wake resumes it.
+func (p *Process) Suspend() {
+	p.eng.blocked++
+	p.yieldToEngine()
+}
+
+// Wake schedules suspended process q to resume at absolute time t.
+func (e *Engine) Wake(t float64, q *Process) {
+	e.blocked--
+	e.At(t, func() { e.handoff(q) })
+}

@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestDelayAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Spawn("a", func(p *Process) {
+		times = append(times, e.Now())
+		p.Delay(2.5)
+		times = append(times, e.Now())
+		p.Delay(0)
+		times = append(times, e.Now())
+	})
+	if stuck := e.Run(); stuck != 0 {
+		t.Fatalf("%d stuck processes", stuck)
+	}
+	if len(times) != 3 || times[0] != 0 || times[1] != 2.5 || times[2] != 2.5 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	panicked := false
+	e.Spawn("a", func(p *Process) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Delay(-1)
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("expected panic on negative delay")
+	}
+}
+
+func TestProcessInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, spec := range []struct {
+			name  string
+			delay float64
+		}{{"slow", 3}, {"fast", 1}, {"mid", 2}} {
+			spec := spec
+			e.Spawn(spec.name, func(p *Process) {
+				p.Delay(spec.delay)
+				order = append(order, spec.name)
+			})
+		}
+		e.Run()
+		return order
+	}
+	want := run()
+	if want[0] != "fast" || want[1] != "mid" || want[2] != "slow" {
+		t.Fatalf("order = %v", want)
+	}
+	for i := 0; i < 5; i++ {
+		got := run()
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d nondeterministic: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of order: %v", order)
+		}
+	}
+}
+
+func TestMailboxDelivery(t *testing.T) {
+	e := NewEngine()
+	box := NewMailbox(e)
+	var recvTime float64
+	var got Message
+	e.Spawn("recv", func(p *Process) {
+		got = box.Get(p)
+		recvTime = e.Now()
+	})
+	e.Spawn("send", func(p *Process) {
+		p.Delay(5)
+		box.PutAt(7, Message{Src: 3, Tag: 1, Bytes: 100})
+	})
+	if stuck := e.Run(); stuck != 0 {
+		t.Fatalf("%d stuck", stuck)
+	}
+	if recvTime != 7 || got.Src != 3 || got.Bytes != 100 {
+		t.Fatalf("recv at %v, msg %+v", recvTime, got)
+	}
+}
+
+func TestMailboxQueuedMessageImmediate(t *testing.T) {
+	e := NewEngine()
+	box := NewMailbox(e)
+	box.Put(Message{Src: 1})
+	var when float64 = -1
+	e.Spawn("r", func(p *Process) {
+		p.Delay(2)
+		box.Get(p)
+		when = e.Now()
+	})
+	e.Run()
+	if when != 2 {
+		t.Fatalf("queued message should be consumed without blocking, got t=%v", when)
+	}
+}
+
+func TestRunReportsStuckProcess(t *testing.T) {
+	e := NewEngine()
+	box := NewMailbox(e)
+	e.Spawn("waiter", func(p *Process) {
+		box.Get(p) // never satisfied
+	})
+	if stuck := e.Run(); stuck != 1 {
+		t.Fatalf("stuck = %d, want 1", stuck)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("link")
+	ends := map[string]float64{}
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Process) {
+			r.AcquireFor(p, 2)
+			ends[name] = e.Now()
+		})
+	}
+	e.Run()
+	// All start at t=0 in spawn order; FIFO serialization → 2, 4, 6.
+	if ends["a"] != 2 || ends["b"] != 4 || ends["c"] != 6 {
+		t.Fatalf("ends = %v", ends)
+	}
+	if r.Busy != 6 {
+		t.Fatalf("busy = %v", r.Busy)
+	}
+}
+
+func TestResourceReserveAt(t *testing.T) {
+	r := NewResource("x")
+	if end := r.ReserveAt(10, 5); end != 15 {
+		t.Fatalf("end = %v", end)
+	}
+	// Earlier request queues behind the existing reservation.
+	if end := r.ReserveAt(0, 1); end != 16 {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestGateStragglerRelease(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e, 3, func() float64 { return 10 })
+	type rec struct{ sync, hold, done float64 }
+	recs := map[string]rec{}
+	for _, spec := range []struct {
+		name  string
+		delay float64
+	}{{"fast", 1}, {"mid", 4}, {"slow", 9}} {
+		spec := spec
+		e.Spawn(spec.name, func(p *Process) {
+			p.Delay(spec.delay)
+			s, h := g.Wait(p)
+			recs[spec.name] = rec{s, h, e.Now()}
+		})
+	}
+	if stuck := e.Run(); stuck != 0 {
+		t.Fatalf("%d stuck", stuck)
+	}
+	// Everyone released at max(9) + hold(10) = 19.
+	for name, r := range recs {
+		if r.done != 19 {
+			t.Fatalf("%s released at %v, want 19", name, r.done)
+		}
+		if r.hold != 10 {
+			t.Fatalf("%s hold %v", name, r.hold)
+		}
+	}
+	if recs["fast"].sync != 8 || recs["slow"].sync != 0 || recs["mid"].sync != 5 {
+		t.Fatalf("sync waits wrong: %+v", recs)
+	}
+}
+
+func TestGateReusableAcrossCycles(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e, 2, func() float64 { return 1 })
+	var rounds []float64
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("p", func(p *Process) {
+			for r := 0; r < 3; r++ {
+				p.Delay(float64(i + 1)) // p0 arrives earlier each round
+				g.Wait(p)
+				if i == 0 {
+					rounds = append(rounds, e.Now())
+				}
+			}
+		})
+	}
+	if stuck := e.Run(); stuck != 0 {
+		t.Fatalf("%d stuck", stuck)
+	}
+	// Round k releases at arrival of the slower party + 1.
+	want := []float64{3, 6, 9}
+	for i := range want {
+		if rounds[i] != want[i] {
+			t.Fatalf("round releases %v, want %v", rounds, want)
+		}
+	}
+}
+
+func TestGateSinglePartyNoWait(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e, 1, func() float64 { return 2 })
+	var sync, hold, done float64
+	e.Spawn("solo", func(p *Process) {
+		p.Delay(1)
+		sync, hold = g.Wait(p)
+		done = e.Now()
+	})
+	e.Run()
+	if sync != 0 || hold != 2 || done != 3 {
+		t.Fatalf("solo gate: sync=%v hold=%v done=%v", sync, hold, done)
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := NewEngine()
+	var childRan bool
+	e.Spawn("parent", func(p *Process) {
+		p.Delay(1)
+		e.Spawn("child", func(c *Process) {
+			c.Delay(1)
+			childRan = true
+		})
+		p.Delay(5)
+	})
+	if stuck := e.Run(); stuck != 0 {
+		t.Fatalf("%d stuck", stuck)
+	}
+	if !childRan {
+		t.Fatal("child process did not run")
+	}
+}
+
+func TestWaitUntilPast(t *testing.T) {
+	e := NewEngine()
+	var tEnd float64
+	e.Spawn("p", func(p *Process) {
+		p.Delay(5)
+		p.WaitUntil(3) // in the past: no-op
+		tEnd = e.Now()
+	})
+	e.Run()
+	if tEnd != 5 {
+		t.Fatalf("tEnd = %v", tEnd)
+	}
+}
+
+// Property: a FIFO resource never overlaps reservations and conserves
+// total busy time.
+func TestResourceReservationProperty(t *testing.T) {
+	r := NewResource("x")
+	prevEnd := 0.0
+	var totalDur float64
+	for i := 0; i < 200; i++ {
+		at := float64((i * 37) % 100)
+		dur := float64((i*13)%7) + 0.5
+		end := r.ReserveAt(at, dur)
+		start := end - dur
+		if start < prevEnd-1e-12 {
+			t.Fatalf("reservation %d overlaps: start %v before previous end %v", i, start, prevEnd)
+		}
+		if start < at-1e-12 {
+			t.Fatalf("reservation %d starts before requested time", i)
+		}
+		prevEnd = end
+		totalDur += dur
+	}
+	if r.Busy != totalDur {
+		t.Fatalf("busy %v, want %v", r.Busy, totalDur)
+	}
+}
+
+// Property: gate release time equals max(arrival)+hold for random arrival
+// patterns.
+func TestGateReleaseProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		e := NewEngine()
+		n := 2 + trial%5
+		hold := float64(trial%3) + 0.5
+		g := NewGate(e, n, func() float64 { return hold })
+		arrivals := make([]float64, n)
+		releases := make([]float64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			arrivals[i] = float64((i*31 + trial*17) % 23)
+			e.Spawn("p", func(p *Process) {
+				p.Delay(arrivals[i])
+				g.Wait(p)
+				releases[i] = e.Now()
+			})
+		}
+		if stuck := e.Run(); stuck != 0 {
+			t.Fatalf("trial %d: %d stuck", trial, stuck)
+		}
+		maxArr := 0.0
+		for _, a := range arrivals {
+			if a > maxArr {
+				maxArr = a
+			}
+		}
+		for i, r := range releases {
+			if r != maxArr+hold {
+				t.Fatalf("trial %d: release[%d] = %v, want %v", trial, i, r, maxArr+hold)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float32 vector. Most optimizer state (parameters,
+// gradients, CG directions) is manipulated as flat Vectors.
+type Vector []float32
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to zero.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float32) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func (v Vector) Scale(alpha float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// AddScaled performs v += alpha*u in place. The vectors must have the same
+// length.
+func (v Vector) AddScaled(alpha float32, u Vector) {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("tensor: AddScaled length mismatch %d vs %d", len(v), len(u)))
+	}
+	for i := range v {
+		v[i] += alpha * u[i]
+	}
+}
+
+// Dot returns the inner product of v and u accumulated in float64 for
+// stability; the optimizer's CG recurrences depend on accurate dot products.
+func (v Vector) Dot(u Vector) float64 {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(v), len(u)))
+	}
+	var s float64
+	for i := range v {
+		s += float64(v[i]) * float64(u[i])
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// MaxAbs returns the largest absolute element of v (0 for an empty vector).
+func (v Vector) MaxAbs() float64 {
+	var max float64
+	for _, x := range v {
+		a := math.Abs(float64(x))
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// EqualApproxVec reports whether a and b have the same length and all
+// elements within tol of each other.
+func EqualApproxVec(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i])-float64(b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}

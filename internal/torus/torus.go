@@ -1,0 +1,149 @@
+// Package torus models the Blue Gene/Q 5-D torus interconnect (§III):
+// node coordinates, shortest-path wrap-around distances, dimension-ordered
+// routing, and the standard partition shapes of midplanes and racks. The
+// machine model uses it for hop latencies and for per-node link
+// serialization in point-to-point traffic.
+package torus
+
+import "fmt"
+
+// Dims is the number of torus dimensions (A,B,C,D,E on BG/Q).
+const Dims = 5
+
+// Shape is the extent of the partition in each dimension.
+type Shape [Dims]int
+
+// Coord is a node coordinate.
+type Coord [Dims]int
+
+// Standard BG/Q partition shapes, from the Blue Gene/Q system
+// documentation: the E dimension is fixed at 2 within a midplane.
+var standardShapes = map[int]Shape{
+	32:   {2, 2, 2, 2, 2},
+	64:   {2, 2, 4, 2, 2},
+	128:  {2, 2, 4, 4, 2},
+	256:  {4, 2, 4, 4, 2},
+	512:  {4, 4, 4, 4, 2}, // midplane
+	1024: {4, 4, 4, 8, 2}, // one rack
+	2048: {4, 4, 4, 16, 2},
+	4096: {4, 4, 8, 16, 2},
+	8192: {4, 4, 16, 16, 2},
+}
+
+// ShapeFor returns the torus shape of a partition with the given number of
+// nodes, using the standard BG/Q shape when one exists and otherwise
+// factoring the count into 5 near-balanced power-of-two extents.
+func ShapeFor(nodes int) (Shape, error) {
+	if s, ok := standardShapes[nodes]; ok {
+		return s, nil
+	}
+	if nodes <= 0 || nodes&(nodes-1) != 0 {
+		return Shape{}, fmt.Errorf("torus: unsupported partition size %d (want a power of two)", nodes)
+	}
+	s := Shape{1, 1, 1, 1, 1}
+	rem := nodes
+	for d := 0; rem > 1; d = (d + 1) % Dims {
+		s[d] *= 2
+		rem /= 2
+	}
+	return s, nil
+}
+
+// Size returns the number of nodes in the shape.
+func (s Shape) Size() int {
+	n := 1
+	for _, e := range s {
+		n *= e
+	}
+	return n
+}
+
+// Coord converts a node index into its coordinate (mixed-radix,
+// dimension A fastest).
+func (s Shape) Coord(node int) Coord {
+	if node < 0 || node >= s.Size() {
+		panic(fmt.Sprintf("torus: node %d out of range %d", node, s.Size()))
+	}
+	var c Coord
+	for d := 0; d < Dims; d++ {
+		c[d] = node % s[d]
+		node /= s[d]
+	}
+	return c
+}
+
+// Node converts a coordinate back into a node index.
+func (s Shape) Node(c Coord) int {
+	node := 0
+	mul := 1
+	for d := 0; d < Dims; d++ {
+		if c[d] < 0 || c[d] >= s[d] {
+			panic(fmt.Sprintf("torus: coord %v out of shape %v", c, s))
+		}
+		node += c[d] * mul
+		mul *= s[d]
+	}
+	return node
+}
+
+// dimDist returns the shortest wrap-around distance along dimension d.
+func (s Shape) dimDist(d, a, b int) int {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if wrap := s[d] - diff; wrap < diff {
+		return wrap
+	}
+	return diff
+}
+
+// HopCount returns the number of torus links on a shortest path between
+// two nodes (the sum of per-dimension wrap distances).
+func (s Shape) HopCount(a, b int) int {
+	ca, cb := s.Coord(a), s.Coord(b)
+	hops := 0
+	for d := 0; d < Dims; d++ {
+		hops += s.dimDist(d, ca[d], cb[d])
+	}
+	return hops
+}
+
+// MaxHops returns the torus diameter: the largest shortest-path hop count
+// between any two nodes (computable per dimension as ⌊extent/2⌋).
+func (s Shape) MaxHops() int {
+	hops := 0
+	for _, e := range s {
+		hops += e / 2
+	}
+	return hops
+}
+
+// Route returns the dimension-ordered route from a to b as the sequence of
+// intermediate nodes (excluding a, including b). BG/Q routes deterministic
+// traffic dimension by dimension; the machine model uses route length and
+// endpoints for link accounting.
+func (s Shape) Route(a, b int) []int {
+	ca, cb := s.Coord(a), s.Coord(b)
+	var path []int
+	cur := ca
+	for d := 0; d < Dims; d++ {
+		for cur[d] != cb[d] {
+			// Step in the shorter wrap direction.
+			up := (cb[d] - cur[d] + s[d]) % s[d]
+			down := (cur[d] - cb[d] + s[d]) % s[d]
+			if up <= down {
+				cur[d] = (cur[d] + 1) % s[d]
+			} else {
+				cur[d] = (cur[d] - 1 + s[d]) % s[d]
+			}
+			path = append(path, s.Node(cur))
+		}
+	}
+	return path
+}
+
+// String renders the shape as AxBxCxDxE.
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%dx%d", s[0], s[1], s[2], s[3], s[4])
+}

@@ -1,0 +1,142 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardShapes(t *testing.T) {
+	for nodes := range standardShapes {
+		s, err := ShapeFor(nodes)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if s.Size() != nodes {
+			t.Fatalf("%d nodes: shape %v has size %d", nodes, s, s.Size())
+		}
+	}
+	// One rack is 4x4x4x8x2.
+	rack, _ := ShapeFor(1024)
+	if rack != (Shape{4, 4, 4, 8, 2}) {
+		t.Fatalf("rack shape %v", rack)
+	}
+}
+
+func TestShapeForNonStandardPowerOfTwo(t *testing.T) {
+	s, err := ShapeFor(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 16 {
+		t.Fatalf("size %d", s.Size())
+	}
+}
+
+func TestShapeForInvalid(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100} {
+		if _, err := ShapeFor(n); err == nil {
+			t.Fatalf("expected error for %d nodes", n)
+		}
+	}
+}
+
+func TestCoordNodeRoundTrip(t *testing.T) {
+	s, _ := ShapeFor(1024)
+	for node := 0; node < s.Size(); node += 37 {
+		if got := s.Node(s.Coord(node)); got != node {
+			t.Fatalf("roundtrip %d → %v → %d", node, s.Coord(node), got)
+		}
+	}
+}
+
+func TestCoordOutOfRangePanics(t *testing.T) {
+	s, _ := ShapeFor(32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Coord(32)
+}
+
+func TestHopCountProperties(t *testing.T) {
+	s, _ := ShapeFor(512)
+	rng := rand.New(rand.NewSource(1))
+	f := func(aSeed, bSeed uint16) bool {
+		a := int(aSeed) % s.Size()
+		b := int(bSeed) % s.Size()
+		h := s.HopCount(a, b)
+		// Symmetry, identity, diameter bound.
+		if h != s.HopCount(b, a) {
+			return false
+		}
+		if (a == b) != (h == 0) {
+			return false
+		}
+		if h > s.MaxHops() {
+			return false
+		}
+		// Triangle inequality through a random waypoint.
+		c := rng.Intn(s.Size())
+		return h <= s.HopCount(a, c)+s.HopCount(c, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopCountWrapAround(t *testing.T) {
+	s := Shape{8, 1, 1, 1, 1}
+	// 0 → 7 wraps: distance 1, not 7.
+	if h := s.HopCount(0, s.Node(Coord{7, 0, 0, 0, 0})); h != 1 {
+		t.Fatalf("wrap distance = %d, want 1", h)
+	}
+	if h := s.HopCount(0, s.Node(Coord{4, 0, 0, 0, 0})); h != 4 {
+		t.Fatalf("half-way distance = %d, want 4", h)
+	}
+}
+
+func TestMaxHops(t *testing.T) {
+	rack, _ := ShapeFor(1024) // 4x4x4x8x2 → 2+2+2+4+1 = 11
+	if rack.MaxHops() != 11 {
+		t.Fatalf("rack diameter %d, want 11", rack.MaxHops())
+	}
+}
+
+func TestRouteLengthMatchesHopCount(t *testing.T) {
+	s, _ := ShapeFor(256)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a, b := rng.Intn(s.Size()), rng.Intn(s.Size())
+		route := s.Route(a, b)
+		if len(route) != s.HopCount(a, b) {
+			t.Fatalf("route %d→%d has %d hops, HopCount says %d", a, b, len(route), s.HopCount(a, b))
+		}
+		if len(route) > 0 && route[len(route)-1] != b {
+			t.Fatalf("route %d→%d ends at %d", a, b, route[len(route)-1])
+		}
+		// Consecutive route nodes must be exactly one hop apart.
+		prev := a
+		for _, n := range route {
+			if s.HopCount(prev, n) != 1 {
+				t.Fatalf("route step %d→%d is not a single hop", prev, n)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestRouteSelfEmpty(t *testing.T) {
+	s, _ := ShapeFor(64)
+	if len(s.Route(5, 5)) != 0 {
+		t.Fatal("self-route must be empty")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	s, _ := ShapeFor(1024)
+	if s.String() != "4x4x4x8x2" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

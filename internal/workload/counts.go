@@ -1,0 +1,234 @@
+// Package workload converts the Hessian-free training algorithm into
+// simulator workloads and replays them on the machine models of
+// internal/bgq, regenerating the paper's evaluation (Figures 1-5,
+// Table I, and the scaling study).
+//
+// The link to reality is AlgoCounts: per-phase operation counts derived
+// from the DNN topology plus algorithm statistics (CG iterations per HF
+// iteration, loss evaluations per iteration) that can be measured from a
+// real run of the internal/core trainer via MeasureCounts. Large-scale
+// results are therefore a replay of the true algorithm structure under
+// modeled hardware, not free-floating formulas.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hf"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Flop factors relative to one forward pass (2·Σ in·out per frame):
+// backprop adds two GEMMs per layer, the Gauss-Newton product runs
+// forward + R-forward + backward.
+const (
+	gradFlopFactor = 3.0
+	gnFlopFactor   = 5.0
+	// cgVectorFlopsPerParam counts the master's per-CG-iteration vector
+	// arithmetic (dots, axpys, direction update) in flops per parameter.
+	cgVectorFlopsPerParam = 12.0
+)
+
+// AlgoCounts are the operation counts of one training run, the workload
+// description fed to Simulate.
+type AlgoCounts struct {
+	// Model geometry.
+	Params           int64
+	FwdFlopsPerFrame float64
+
+	// Data sizes (frames).
+	TrainFrames  int64
+	HeldFrames   int64
+	SampleFrames int64 // curvature sample per CG round (1-3% of train)
+
+	// Algorithm statistics, measurable from a real run.
+	CGItersPerHF   float64
+	LossEvalsPerHF float64
+	HFIters        int
+
+	// GradPassFactor multiplies the GEMM work of gradient and loss-eval
+	// phases; sequence training makes two passes (numerator and
+	// denominator lattices), cross-entropy one. Values ≤ 0 mean 1.
+	GradPassFactor float64
+
+	// Sequence criterion: extra scalar (non-SIMD) flops per frame for the
+	// utterance-level forward-backward, zero for cross-entropy.
+	SeqScalarFlopsPerFrame float64
+
+	// MeanUttFrames is the average utterance length in frames. Curvature
+	// samples are drawn at utterance granularity, so once the sample holds
+	// fewer utterances than there are workers, the per-CG-round work stops
+	// shrinking — the dominant source of sub-linear scaling beyond 4096
+	// ranks. Default 400 (≈4 s at 100 frames/s).
+	MeanUttFrames int64
+
+	// BytesPerFrame sizes the load_data distribution (features+targets).
+	BytesPerFrame int64
+}
+
+// Validate checks internal consistency.
+func (c AlgoCounts) Validate() error {
+	if c.Params <= 0 || c.TrainFrames <= 0 || c.HeldFrames <= 0 || c.SampleFrames <= 0 {
+		return fmt.Errorf("workload: non-positive size in %+v", c)
+	}
+	if c.CGItersPerHF <= 0 || c.LossEvalsPerHF <= 0 || c.HFIters <= 0 {
+		return fmt.Errorf("workload: non-positive algorithm statistic in %+v", c)
+	}
+	if c.MeanUttFrames <= 0 {
+		return fmt.Errorf("workload: non-positive MeanUttFrames in %+v", c)
+	}
+	return nil
+}
+
+// ParamBytes is the wire size of one parameter-length float32 vector.
+func (c AlgoCounts) ParamBytes() int64 { return 4 * c.Params }
+
+// gradPass returns the effective pass factor (≥ 1).
+func (c AlgoCounts) gradPass() float64 {
+	if c.GradPassFactor <= 0 {
+		return 1
+	}
+	return c.GradPassFactor
+}
+
+// GradFlopsPerFrame returns forward+backward flops per frame, including
+// the criterion's pass factor.
+func (c AlgoCounts) GradFlopsPerFrame() float64 {
+	return gradFlopFactor * c.FwdFlopsPerFrame * c.gradPass()
+}
+
+// EvalFlopsPerFrame returns loss-evaluation flops per frame.
+func (c AlgoCounts) EvalFlopsPerFrame() float64 {
+	return c.FwdFlopsPerFrame * c.gradPass()
+}
+
+// GNFlopsPerFrame returns Gauss-Newton product flops per frame.
+func (c AlgoCounts) GNFlopsPerFrame() float64 { return gnFlopFactor * c.FwdFlopsPerFrame }
+
+// CountsForTopology derives model-geometry counts from DNN layer sizes:
+// Σ in·out MACs per frame forward, parameter count, and the load_data
+// frame footprint for the given input dimension.
+func CountsForTopology(sizes []int) (params int64, fwdFlopsPerFrame float64, bytesPerFrame int64) {
+	for l := 0; l+1 < len(sizes); l++ {
+		macs := int64(sizes[l]) * int64(sizes[l+1])
+		params += macs + int64(sizes[l+1])
+		fwdFlopsPerFrame += 2 * float64(macs)
+	}
+	bytesPerFrame = int64(sizes[0])*4 + 8 // spliced features + target/index
+	return params, fwdFlopsPerFrame, bytesPerFrame
+}
+
+// Preset50h models the paper's 50-hour task: ≈18 M training frames and a
+// speech DNN in the paper's 10-50 M parameter range (5×2048 hidden
+// layers, 3000 context-dependent states).
+func Preset50h(sequence bool) AlgoCounts {
+	sizes := []int{440, 2048, 2048, 2048, 2048, 2048, 3000}
+	params, fwd, bpf := CountsForTopology(sizes)
+	c := AlgoCounts{
+		Params:           params,
+		FwdFlopsPerFrame: fwd,
+		TrainFrames:      18_000_000,
+		HeldFrames:       900_000,
+		SampleFrames:     360_000, // 2% curvature sample
+		CGItersPerHF:     50,
+		LossEvalsPerHF:   8,
+		HFIters:          30,
+		MeanUttFrames:    400,
+		BytesPerFrame:    bpf,
+	}
+	if sequence {
+		applySequence(&c)
+	}
+	return c
+}
+
+// Preset400h models the 400-hour task: ≈144 M frames and the "over 100M
+// parameter" network of §VIII (6×4096 hidden layers, 9300 states).
+func Preset400h(sequence bool) AlgoCounts {
+	sizes := []int{440, 4096, 4096, 4096, 4096, 4096, 4096, 9300}
+	params, fwd, bpf := CountsForTopology(sizes)
+	c := AlgoCounts{
+		Params:           params,
+		FwdFlopsPerFrame: fwd,
+		TrainFrames:      144_000_000,
+		HeldFrames:       7_200_000,
+		SampleFrames:     1_440_000, // 1% sample
+		CGItersPerHF:     50,
+		LossEvalsPerHF:   8,
+		HFIters:          20,
+		MeanUttFrames:    400,
+		BytesPerFrame:    bpf,
+	}
+	if sequence {
+		applySequence(&c)
+	}
+	return c
+}
+
+// applySequence turns a cross-entropy workload into the sequence-training
+// one: lattice generation adds a modest extra pass to gradient and loss
+// evaluations plus per-frame scalar forward-backward work, the poorly
+// conditioned discriminative objective needs a deeper CG solve each
+// iteration, and convergence takes more outer iterations. The deeper CG
+// shifts time toward the round-trip-dominated inner loop, which is why
+// Table I's sequence speedup on BG/Q trails the cross-entropy speedup.
+func applySequence(c *AlgoCounts) {
+	c.SeqScalarFlopsPerFrame = seqScalarFlops
+	c.GradPassFactor = 1.15
+	c.CGItersPerHF = 85
+	c.HFIters = int(float64(c.HFIters) * 1.4)
+}
+
+// seqScalarFlops models the utterance-level sequence criterion's extra
+// per-frame cost: the lattice forward-backward and statistics
+// accumulation (≈3000 arcs/frame × ~8 flops), which does not vectorize —
+// the reason Table I's sequence-training speedup trails cross-entropy's
+// on the in-order A2 cores.
+const seqScalarFlops = 1e5
+
+// MeasureCounts calibrates the algorithm statistics (CG iterations and
+// loss evaluations per HF iteration) by running a real, small-scale
+// training with the internal/core trainer, then grafting those statistics
+// onto the given preset. This anchors the simulator in the behaviour of
+// the actual implementation.
+func MeasureCounts(base AlgoCounts, p core.Problem, cfg hf.Config) (AlgoCounts, error) {
+	obj, err := core.NewSerialObjective(p)
+	if err != nil {
+		return base, err
+	}
+	counting := &countingObjective{Objective: obj}
+	res := hf.Optimize(counting, cfg)
+	if len(res.Iters) == 0 {
+		return base, fmt.Errorf("workload: calibration run produced no iterations")
+	}
+	base.CGItersPerHF = float64(res.TotalCGIters) / float64(len(res.Iters))
+	if base.CGItersPerHF < 1 {
+		base.CGItersPerHF = 1
+	}
+	base.LossEvalsPerHF = float64(counting.lossEvals) / float64(len(res.Iters))
+	if base.LossEvalsPerHF < 1 {
+		base.LossEvalsPerHF = 1
+	}
+	return base, nil
+}
+
+// countingObjective wraps an hf.Objective and counts held-out loss
+// evaluations (the backtracking + line-search traffic of Algorithm 1).
+type countingObjective struct {
+	hf.Objective
+	lossEvals int
+}
+
+func (c *countingObjective) HeldOutLoss(p tensor.Vector) float64 {
+	c.lossEvals++
+	return c.Objective.HeldOutLoss(p)
+}
+
+// TopologyForProblem exposes the flop geometry of a real problem, for
+// tests that cross-check CountsForTopology against nn.Topology.
+func TopologyForProblem(topo nn.Topology) (params int64, fwdFlops float64) {
+	p, f, _ := CountsForTopology(topo.Sizes)
+	return p, f
+}

@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"repro/internal/bgq"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/nn"
+	"repro/internal/torus"
+)
+
+// torusShapeFor resolves the torus shape of a BG/Q configuration.
+func torusShapeFor(cfg bgq.Config) (torus.Shape, error) {
+	return torus.ShapeFor(cfg.Nodes())
+}
+
+// coreProblem assembles a core.Problem for calibration tests.
+func coreProblem(c, train, held *corpus.Corpus) core.Problem {
+	return core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 8, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 1,
+		Seed:           1,
+	}
+}

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"repro/internal/bgq"
+	"repro/internal/corpus"
+)
+
+// ShardsFromPartition derives per-worker training-frame shares by running
+// a real utterance partitioner over the given utterance lengths and
+// scaling the resulting frame distribution to totalFrames. This is how
+// the load-balance ablation (§V-C) feeds the simulator: the imbalance of
+// round-robin vs sorted-greedy partitioning at paper scale, obtained from
+// the actual partitioning code.
+func ShardsFromPartition(lengths []int, workers int, part corpus.Partitioner, totalFrames int64) []int64 {
+	utts := corpus.UtterancesFromLengths(lengths)
+	shardsUtts := part.Partition(utts, workers)
+	var localTotal int64
+	frames := make([]int64, workers)
+	for w, s := range shardsUtts {
+		frames[w] = int64(corpus.TotalFrames(s))
+		localTotal += frames[w]
+	}
+	if localTotal == 0 {
+		return EvenShards(totalFrames, workers)
+	}
+	out := make([]int64, workers)
+	var assigned int64
+	for w := range frames {
+		out[w] = frames[w] * totalFrames / localTotal
+		assigned += out[w]
+	}
+	// Put rounding remainder on worker 0.
+	out[0] += totalFrames - assigned
+	return out
+}
+
+// WeightSyncP2PTime models the pre-MPI implementation of weight
+// synchronization (§V-B): the master pushing the full weight vector to
+// every worker over serial point-to-point connections, all funneled
+// through its injection link.
+func WeightSyncP2PTime(m bgq.MachineSpec, cfg bgq.Config, bytes int64) float64 {
+	return float64(cfg.Ranks-1) * (m.MPIAlphaSec + m.InjectionTime(bytes))
+}

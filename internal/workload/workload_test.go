@@ -1,0 +1,459 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bgq"
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/nn"
+)
+
+func TestCountsForTopology(t *testing.T) {
+	// 3-4-2: params = 3·4+4 + 4·2+2 = 26; fwd = 2(12+8) = 40.
+	params, fwd, bpf := CountsForTopology([]int{3, 4, 2})
+	if params != 26 {
+		t.Fatalf("params %d", params)
+	}
+	if fwd != 40 {
+		t.Fatalf("fwd flops %v", fwd)
+	}
+	if bpf != 3*4+8 {
+		t.Fatalf("bytes/frame %d", bpf)
+	}
+	// Cross-check against nn.Topology.
+	topo := nn.NewTopology(3, 4, 2)
+	p2, _ := TopologyForProblem(topo)
+	if p2 != int64(topo.NumParams()) {
+		t.Fatalf("params %d vs topology %d", p2, topo.NumParams())
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, c := range []AlgoCounts{Preset50h(false), Preset50h(true), Preset400h(false), Preset400h(true)} {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Preset50h(false)
+	// The paper's range: 10-50M parameters for the 50h task.
+	if p.Params < 10e6 || p.Params > 50e6 {
+		t.Fatalf("50h params %d outside the paper's 10-50M range", p.Params)
+	}
+	if Preset400h(false).Params < 100e6 {
+		t.Fatalf("400h params %d; §VIII says over 100M", Preset400h(false).Params)
+	}
+	if p.TrainFrames != 18_000_000 {
+		t.Fatalf("50h frames %d, want 18M", p.TrainFrames)
+	}
+	seq := Preset50h(true)
+	if seq.SeqScalarFlopsPerFrame <= 0 || seq.CGItersPerHF <= p.CGItersPerHF || seq.HFIters <= p.HFIters {
+		t.Fatalf("sequence preset not harder than CE: %+v", seq)
+	}
+}
+
+func TestValidateRejectsBadCounts(t *testing.T) {
+	good := Preset50h(false)
+	for _, mut := range []func(*AlgoCounts){
+		func(c *AlgoCounts) { c.Params = 0 },
+		func(c *AlgoCounts) { c.TrainFrames = -1 },
+		func(c *AlgoCounts) { c.CGItersPerHF = 0 },
+		func(c *AlgoCounts) { c.HFIters = 0 },
+		func(c *AlgoCounts) { c.MeanUttFrames = 0 },
+	} {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation accepted: %+v", c)
+		}
+	}
+}
+
+func TestEvenShards(t *testing.T) {
+	s := EvenShards(10, 3)
+	if len(s) != 3 || s[0]+s[1]+s[2] != 10 {
+		t.Fatalf("shards %v", s)
+	}
+	for _, v := range s {
+		if v < 3 || v > 4 {
+			t.Fatalf("uneven shards %v", s)
+		}
+	}
+}
+
+func TestSimulateBasicInvariants(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	cfg := bgq.Config{Ranks: 64, RanksPerNode: 4, ThreadsPerRank: 16}
+	r, err := Simulate(m, cfg, Preset50h(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LoadDataSec <= 0 || r.IterSec <= 0 {
+		t.Fatalf("non-positive times: %+v", r)
+	}
+	if math.Abs(r.TotalSec-(r.LoadDataSec+30*r.IterSec)) > 1e-6*r.TotalSec {
+		t.Fatalf("TotalSec inconsistent: %v vs %v + 30·%v", r.TotalSec, r.LoadDataSec, r.IterSec)
+	}
+	// Master must report the paper's master-side functions, workers theirs.
+	for _, name := range []string{"load_data", "sync_weights_master", "gradient_loss", "cg_minimize", "loss_eval"} {
+		if r.Master[name] == nil {
+			t.Fatalf("master missing phase %q", name)
+		}
+	}
+	for _, name := range []string{"load_data", "sync_weights_worker", "gradient_loss", "worker_curvature_product", "loss_eval"} {
+		if r.WorkerMean[name] == nil {
+			t.Fatalf("worker missing phase %q", name)
+		}
+	}
+	// Cycle accounting: breakdown components non-negative, committed > 0
+	// wherever compute happened.
+	for name, ph := range r.WorkerMean {
+		if ph.ComputeSec > 0 && ph.Cycles.Committed <= 0 {
+			t.Fatalf("phase %q: compute without committed cycles", name)
+		}
+		if ph.Cycles.AXUStall < 0 || ph.Cycles.IUEmpty < 0 {
+			t.Fatalf("phase %q: negative cycles", name)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	cfg := bgq.Config{Ranks: 128, RanksPerNode: 4, ThreadsPerRank: 16}
+	a, err := Simulate(m, cfg, Preset50h(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(m, cfg, Preset50h(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSec != b.TotalSec || a.IterSec != b.IterSec {
+		t.Fatalf("nondeterministic: %v vs %v", a.TotalSec, b.TotalSec)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	if _, err := Simulate(m, bgq.Config{Ranks: 1, RanksPerNode: 1, ThreadsPerRank: 1}, Preset50h(false), nil); err == nil {
+		t.Fatal("1 rank must fail")
+	}
+	if _, err := Simulate(m, bgq.Config{Ranks: 64, RanksPerNode: 4, ThreadsPerRank: 16}, Preset50h(false), []int64{1, 2}); err == nil {
+		t.Fatal("wrong shard count must fail")
+	}
+	bad := Preset50h(false)
+	bad.Params = 0
+	if _, err := Simulate(m, bgq.Config{Ranks: 64, RanksPerNode: 4, ThreadsPerRank: 16}, bad, nil); err == nil {
+		t.Fatal("bad counts must fail")
+	}
+}
+
+// Figure 1(a) shape: at 64 threads/node the paper finds
+// time(2048-2-32) ≲ time(4096-4-16) < time(1024-1-64), and adding
+// threads per node (16→32→64) always helps.
+func TestFig1aShape(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	c := Preset50h(false)
+	run := func(cfg bgq.Config) float64 {
+		r, err := Simulate(m, cfg, c, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label(), err)
+		}
+		return r.TotalSec
+	}
+	t16 := run(bgq.Config{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 16})
+	t32 := run(bgq.Config{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 32})
+	t64 := run(bgq.Config{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64})
+	if !(t16 > t32 && t32 > t64) {
+		t.Fatalf("thread scaling not monotone: 16→%v 32→%v 64→%v", t16, t32, t64)
+	}
+	t2048 := run(bgq.Config{Ranks: 2048, RanksPerNode: 2, ThreadsPerRank: 32})
+	t4096 := run(bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16})
+	if !(t2048 <= t4096) {
+		t.Fatalf("2048-2-32 (%v) should be ≤ 4096-4-16 (%v)", t2048, t4096)
+	}
+	if !(t4096 < t64) {
+		t.Fatalf("4096-4-16 (%v) should beat 1024-1-64 (%v)", t4096, t64)
+	}
+	// "slightly better": within 20% of each other.
+	if t4096/t2048 > 1.2 {
+		t.Fatalf("2048-2-32 vs 4096-4-16 gap too large: %v vs %v", t2048, t4096)
+	}
+}
+
+// Figure 1(b) shape: on 400 h, two racks (8192-4-16) give a further
+// speedup over one rack (4096-4-16) of roughly the paper's 22% — clearly
+// sub-linear (×2 hardware, far less than ×2 speed).
+func TestFig1bShape(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	c := Preset400h(false)
+	r4, err := Simulate(m, bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Simulate(m, bgq.Config{Ranks: 8192, RanksPerNode: 4, ThreadsPerRank: 16}, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := r4.TotalSec/r8.TotalSec - 1
+	if gain < 0.10 || gain > 0.50 {
+		t.Fatalf("8192 vs 4096 gain %.0f%%, want 10-50%% (paper: 22%%)", gain*100)
+	}
+	// §VIII: 400 h trains in ≈6.3 h on two racks.
+	hours := r8.TotalSec / 3600
+	if hours < 4 || hours > 10 {
+		t.Fatalf("two-rack 400h training %.1f h, want ≈6.3 h", hours)
+	}
+}
+
+// Table I shape: BG/Q-4096 vs Intel-96 speedups in the paper's
+// neighbourhood, frequency-adjusted by 2.9/1.6, with the sequence
+// criterion's speedup below cross-entropy's.
+func TestTable1Shape(t *testing.T) {
+	bg := bgq.BlueGeneQ()
+	intel := bgq.IntelXeonCluster()
+	speedup := func(seq bool) float64 {
+		c := Preset50h(seq)
+		ri, err := Simulate(intel, bgq.Config{Ranks: 96, RanksPerNode: 2, ThreadsPerRank: 8}, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := Simulate(bg, bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ri.TotalSec / rb.TotalSec
+	}
+	ce := speedup(false)
+	seq := speedup(true)
+	if ce < 3 || ce > 10 {
+		t.Fatalf("CE speedup %.2f outside [3,10] (paper: 6.9)", ce)
+	}
+	if seq < 2.5 || seq > 8 {
+		t.Fatalf("sequence speedup %.2f outside [2.5,8] (paper: 4.5)", seq)
+	}
+	if seq >= ce {
+		t.Fatalf("sequence speedup (%.2f) must trail cross-entropy (%.2f)", seq, ce)
+	}
+	adj := ce * 2.9 / 1.6
+	if adj < 6 || adj > 18 {
+		t.Fatalf("adjusted CE speedup %.2f outside [6,18] (paper: 12.6)", adj)
+	}
+}
+
+// Scaling shape: near-linear to 1024 ranks, bending by 2048-4096
+// (consistent with Figure 1(a)'s near-equal 2048/4096-rank configs),
+// essentially flat past 8192.
+func TestScalingShape(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	c := Preset50h(false)
+	total := map[int]float64{}
+	for _, ranks := range []int{64, 1024, 4096, 8192, 16384} {
+		r, err := Simulate(m, bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total[ranks] = r.TotalSec
+	}
+	eff1024 := (total[64] / total[1024]) / (1024.0 / 64.0)
+	if eff1024 < 0.7 {
+		t.Fatalf("efficiency at 1024 ranks %.2f, want ≥0.7 (near-linear)", eff1024)
+	}
+	gain8k := total[4096] / total[8192]
+	if gain8k > 1.5 {
+		t.Fatalf("4096→8192 gain %.2f×, should be clearly sub-linear (<1.5)", gain8k)
+	}
+	gain16k := total[8192] / total[16384]
+	if gain16k > 1.15 {
+		t.Fatalf("8192→16384 gain %.2f×, should be nearly flat", gain16k)
+	}
+}
+
+// Figures 2/4 shape: master load_data (p2p) and sync_weights (collective)
+// grow with rank count; workers' gradient compute shrinks (Fig 3).
+func TestMasterTrendsWithRanks(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	c := Preset50h(false)
+	r1, err := Simulate(m, bgq.Config{Ranks: 1024, RanksPerNode: 1, ThreadsPerRank: 64}, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Simulate(m, bgq.Config{Ranks: 4096, RanksPerNode: 4, ThreadsPerRank: 16}, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Master["load_data"].P2PSec <= r1.Master["load_data"].P2PSec {
+		t.Fatalf("master load_data p2p should grow with ranks: %v vs %v",
+			r1.Master["load_data"].P2PSec, r4.Master["load_data"].P2PSec)
+	}
+	if r4.Master["sync_weights_master"].CollSec <= r1.Master["sync_weights_master"].CollSec {
+		t.Fatalf("master sync_weights should grow with ranks: %v vs %v",
+			r1.Master["sync_weights_master"].CollSec, r4.Master["sync_weights_master"].CollSec)
+	}
+	if r4.WorkerMean["gradient_loss"].ComputeSec >= r1.WorkerMean["gradient_loss"].ComputeSec {
+		t.Fatalf("worker gradient compute should shrink with ranks: %v vs %v",
+			r1.WorkerMean["gradient_loss"].ComputeSec, r4.WorkerMean["gradient_loss"].ComputeSec)
+	}
+	// Figure 5 shape: worker MPI time is dominated by collectives.
+	coll, p2p := r4.WorkerMean.TotalMPI()
+	if coll <= p2p {
+		t.Fatalf("worker MPI should be collective-dominated: coll %v vs p2p %v", coll, p2p)
+	}
+}
+
+// Load-balance ablation (§V-C): simulating with shards from the naive
+// partitioner must be slower than with the paper's sorted-greedy shards.
+func TestLoadBalanceAblation(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	c := Preset50h(false)
+	cfg := bgq.Config{Ranks: 256, RanksPerNode: 4, ThreadsPerRank: 16}
+	lengths := corpus.GenerateLengths(corpus.Config{Seed: 42, NumUtterances: 4000})
+	naive := ShardsFromPartition(lengths, cfg.Ranks-1, corpus.RoundRobin{}, c.TrainFrames)
+	sorted := ShardsFromPartition(lengths, cfg.Ranks-1, corpus.SortedGreedy{}, c.TrainFrames)
+	rn, err := Simulate(m, cfg, c, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Simulate(m, cfg, c, sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.TotalSec >= rn.TotalSec {
+		t.Fatalf("sorted-greedy (%v) should beat round-robin (%v)", rs.TotalSec, rn.TotalSec)
+	}
+}
+
+// §V-B: broadcast-based weight sync must beat the socket-era serial
+// point-to-point push, increasingly so at scale.
+func TestWeightSyncBcastBeatsP2P(t *testing.T) {
+	m := bgq.BlueGeneQ()
+	c := Preset50h(false)
+	for _, ranks := range []int{64, 1024, 4096} {
+		cfg := bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}
+		shape, err := torusShapeFor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcast := m.BcastTime(c.ParamBytes(), cfg, shape)
+		p2p := WeightSyncP2PTime(m, cfg, c.ParamBytes())
+		if bcast >= p2p {
+			t.Fatalf("ranks=%d: bcast %v should beat serial p2p %v", ranks, bcast, p2p)
+		}
+		if ranks == 4096 && p2p/bcast < 100 {
+			t.Fatalf("at 4096 ranks the gap should be enormous, got %.1f×", p2p/bcast)
+		}
+	}
+}
+
+func TestMeasureCountsFromRealRun(t *testing.T) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 3, NumUtterances: 20, MeanSeconds: 0.3, FeatDim: 6, Context: 1, NumStates: 4,
+	})
+	train, held := c.Split(5)
+	prob := coreProblem(c, train, held)
+	base := Preset50h(false)
+	got, err := MeasureCounts(base, prob, hf.Config{MaxIterations: 3, CG: hf.CGOpts{MaxIters: 10, MinIters: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CGItersPerHF < 1 || got.CGItersPerHF > 10 {
+		t.Fatalf("measured CG iters %v", got.CGItersPerHF)
+	}
+	if got.LossEvalsPerHF < 1 {
+		t.Fatalf("measured loss evals %v", got.LossEvalsPerHF)
+	}
+	// Geometry fields must be untouched.
+	if got.Params != base.Params || got.TrainFrames != base.TrainFrames {
+		t.Fatal("MeasureCounts must only change algorithm statistics")
+	}
+}
+
+// Property: EvenShards conserves the total and spreads within one frame.
+func TestEvenShardsProperty(t *testing.T) {
+	f := func(totalSeed uint32, wSeed uint8) bool {
+		total := int64(totalSeed % 1000000)
+		workers := int(wSeed%31) + 1
+		s := EvenShards(total, workers)
+		if len(s) != workers {
+			return false
+		}
+		var sum, min, max int64
+		min = 1 << 62
+		for _, v := range s {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return sum == total && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ShardsFromPartition conserves the requested total frames.
+func TestShardsFromPartitionConservesTotal(t *testing.T) {
+	lengths := corpus.GenerateLengths(corpus.Config{Seed: 31, NumUtterances: 500})
+	f := func(wSeed uint8, sorted bool) bool {
+		workers := int(wSeed%15) + 2
+		var part corpus.Partitioner = corpus.RoundRobin{}
+		if sorted {
+			part = corpus.SortedGreedy{}
+		}
+		const total = int64(1_000_000)
+		shards := ShardsFromPartition(lengths, workers, part, total)
+		var sum int64
+		for _, s := range shards {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradPassFactor(t *testing.T) {
+	ce := Preset50h(false)
+	seq := Preset50h(true)
+	if ce.GradFlopsPerFrame() >= seq.GradFlopsPerFrame() {
+		t.Fatal("sequence gradient must cost more GEMM flops than CE")
+	}
+	if ce.EvalFlopsPerFrame() != ce.FwdFlopsPerFrame {
+		t.Fatal("CE eval is one forward pass")
+	}
+	if seq.EvalFlopsPerFrame() <= ce.EvalFlopsPerFrame() {
+		t.Fatal("sequence eval must cost more than CE eval")
+	}
+}
+
+// The sequence workload must simulate strictly slower than CE on both
+// machines (Table I's rows).
+func TestSequenceWorkloadSlower(t *testing.T) {
+	for _, m := range []bgq.MachineSpec{bgq.BlueGeneQ(), bgq.IntelXeonCluster()} {
+		cfg := bgq.Config{Ranks: 64, RanksPerNode: 4, ThreadsPerRank: 16}
+		if m.Name == "Intel-Xeon" {
+			cfg = bgq.Config{Ranks: 96, RanksPerNode: 2, ThreadsPerRank: 8}
+		}
+		ce, err := Simulate(m, cfg, Preset50h(false), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Simulate(m, cfg, Preset50h(true), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.TotalSec <= ce.TotalSec {
+			t.Fatalf("%s: sequence (%v) must be slower than CE (%v)", m.Name, seq.TotalSec, ce.TotalSec)
+		}
+	}
+}

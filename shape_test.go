@@ -1,0 +1,12 @@
+package repro
+
+import (
+	"repro/internal/bgq"
+	"repro/internal/torus"
+)
+
+// torusShapeFor resolves the torus shape of a BG/Q configuration for the
+// benchmark harness.
+func torusShapeFor(cfg bgq.Config) (torus.Shape, error) {
+	return torus.ShapeFor(cfg.Nodes())
+}
