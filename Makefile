@@ -1,0 +1,17 @@
+.PHONY: verify test bench bench_obs
+
+# Full gate: compile, vet, and the complete test suite under the race
+# detector (the observability layer is exercised concurrently by design).
+verify:
+	go build ./... && go vet ./... && go test -race ./...
+
+test:
+	go test ./...
+
+# Regenerate every paper table/figure benchmark once.
+bench:
+	go test -bench . -benchtime 1x -run '^$$' .
+
+# Measure observability overhead on the real trainer; writes BENCH_obs.json.
+bench_obs:
+	go test -bench BenchmarkObsOverhead -benchtime 1x -run '^$$' .

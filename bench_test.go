@@ -1,14 +1,18 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/bgq"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/hf"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -283,6 +287,64 @@ func BenchmarkRealDistributedHF(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs the
+// real distributed trainer: identical 3-rank runs with instrumentation
+// disabled (nil observer — hot paths pay only pointer checks) and fully
+// enabled (metrics registry + span tracer). The comparison is written to
+// BENCH_obs.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 7, NumUtterances: 40, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
+	})
+	train, held := c.Split(8)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 1,
+		Seed:           3,
+	}
+	cfg := hf.Config{MaxIterations: 3, CG: hf.CGOpts{MaxIters: 15, MinIters: 3}}
+	run := func(b *testing.B, ob *obs.Observer) time.Duration {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TrainDistributedHFObs(prob, cfg, 3, nil, ob); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start) / time.Duration(b.N)
+	}
+	var disabled, enabled time.Duration
+	var spansPerRun int
+	b.Run("disabled", func(b *testing.B) {
+		disabled = run(b, nil)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		ob := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
+		enabled = run(b, ob)
+		spansPerRun = len(ob.Trace.Events()) / b.N
+		b.ReportMetric(float64(spansPerRun), "spans/run")
+	})
+	if disabled <= 0 || enabled <= 0 {
+		return
+	}
+	overheadPct := (float64(enabled)/float64(disabled) - 1) * 100
+	b.ReportMetric(overheadPct, "overhead_pct")
+	out, err := json.MarshalIndent(map[string]any{
+		"disabled_ns_per_run": disabled.Nanoseconds(),
+		"enabled_ns_per_run":  enabled.Nanoseconds(),
+		"overhead_pct":        overheadPct,
+		"spans_per_run":       spansPerRun,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

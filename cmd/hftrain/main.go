@@ -7,12 +7,18 @@
 //	hftrain -mode serial   -criterion ce  -utterances 200 -iters 10
 //	hftrain -mode dist     -ranks 5       -criterion sequence
 //	hftrain -mode sgd      -epochs 5
+//	hftrain -trace trace.json -metrics iters.jsonl
+//
+// -trace writes a Chrome trace-event JSON file of the run's per-rank
+// phase spans (open in chrome://tracing or ui.perfetto.dev); -metrics
+// appends one JSON line per HF iteration.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/core"
@@ -20,10 +26,12 @@ import (
 	"repro/internal/hf"
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
-	mode := flag.String("mode", "serial", "training mode: serial, dist, sgd, async")
+	mode := flag.String("mode", "dist", "training mode: serial, dist, sgd, async")
 	criterion := flag.String("criterion", "ce", "training criterion: ce, sequence")
 	utterances := flag.Int("utterances", 120, "number of synthetic utterances")
 	states := flag.Int("states", 8, "number of HMM states (output classes)")
@@ -38,7 +46,23 @@ func main() {
 	precond := flag.Bool("precond", false, "use the Martens diagonal CG preconditioner")
 	save := flag.String("save", "", "write the trained model checkpoint to this path")
 	load := flag.String("load", "", "resume from a model checkpoint")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of per-rank phase spans to this path")
+	metricsOut := flag.String("metrics", "", "write per-HF-iteration telemetry as JSONL to this path")
 	flag.Parse()
+
+	var ob *obs.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		ob = &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
+	}
+	// Open output files up front so a bad path fails before training.
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile = f
+	}
 
 	crit := core.CrossEntropy
 	if strings.HasPrefix(*criterion, "seq") {
@@ -75,9 +99,17 @@ func main() {
 		MaxIterations:     *iters,
 		UsePreconditioner: *precond,
 		Log: func(s hf.IterStats) {
-			log.Printf("iter %2d: loss=%.4f λ=%.3g cg=%d α=%.2f accepted=%v",
-				s.Iter, s.Loss, s.Lambda, s.CGIters, s.Alpha, s.Accepted)
+			log.Printf("iter %2d: loss=%.4f λ=%.3g ρ=%.2f cg=%d α=%.2f accepted=%v",
+				s.Iter, s.Loss, s.Lambda, s.Rho, s.CGIters, s.Alpha, s.Accepted)
 		},
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		hfCfg.Telemetry = core.TelemetryJSONL(f)
 	}
 
 	switch *mode {
@@ -116,9 +148,9 @@ func main() {
 		var err error
 		switch *transport {
 		case "inproc":
-			res, err = core.TrainDistributedHF(prob, hfCfg, *ranks, nil)
+			res, err = core.TrainDistributedHFObs(prob, hfCfg, *ranks, nil, ob)
 		case "tcp":
-			res, err = trainOverTCP(prob, hfCfg, *ranks)
+			res, err = trainOverTCP(prob, hfCfg, *ranks, ob)
 		default:
 			log.Fatalf("unknown transport %q (want inproc, tcp)", *transport)
 		}
@@ -127,6 +159,11 @@ func main() {
 		}
 		fmt.Printf("distributed HF (%s, %d ranks, %s): final held-out loss %.4f, frame accuracy %.1f%%\n",
 			crit, *ranks, *transport, res.HF.FinalLoss, res.HeldOutAccuracy*100)
+		if ob != nil {
+			report.HFIterTable(os.Stdout, res.HF.Iters)
+			report.MPITable(os.Stdout, res.MPIProfile)
+			report.MetricsTable(os.Stdout, ob.Metrics.Snapshot())
+		}
 	case "async":
 		res, err := core.TrainAsyncSGD(prob, core.AsyncSGDConfig{Epochs: *epochs, Seed: *seed}, *ranks, nil)
 		if err != nil {
@@ -148,12 +185,22 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q (want serial, dist, sgd, async)", *mode)
 	}
+
+	if traceFile != nil {
+		if err := ob.Trace.WriteChromeTrace(traceFile); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)", *traceOut)
+	}
 }
 
 // trainOverTCP runs the master and workers over a localhost TCP fabric —
 // the same code path a true multi-process deployment uses, exercised inside
 // one process for convenience.
-func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int) (*core.MasterResult, error) {
+func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int, ob *obs.Observer) (*core.MasterResult, error) {
 	transports, err := mpi.ConnectTCPLocal(ranks)
 	if err != nil {
 		return nil, err
@@ -163,12 +210,12 @@ func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int) (*core.MasterResu
 		go func(r int) {
 			comm := mpi.NewComm(transports[r])
 			defer comm.Close()
-			workerErrs <- core.RunWorker(comm)
+			workerErrs <- core.RunWorkerObs(comm, ob)
 		}(r)
 	}
 	master := mpi.NewComm(transports[0])
 	defer master.Close()
-	res, err := core.RunMaster(master, prob, cfg, nil)
+	res, err := core.RunMasterObs(master, prob, cfg, nil, ob)
 	for r := 1; r < ranks; r++ {
 		if werr := <-workerErrs; werr != nil && err == nil {
 			err = werr

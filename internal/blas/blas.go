@@ -101,6 +101,9 @@ func GemmWith(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matrix, 
 	if c.Rows != m || c.Cols != n {
 		panic(fmt.Sprintf("blas: Gemm output %d×%d, want %d×%d", c.Rows, c.Cols, m, n))
 	}
+	if gm := metrics.Load(); gm != nil {
+		gm.recordGemm(m, n, k)
+	}
 	cfg = cfg.filled()
 
 	impl := cfg.Impl

@@ -50,6 +50,9 @@ func Gemm64(tA, tB Transpose, alpha float64, a, b *Matrix64, beta float64, c *Ma
 	if c.Rows != m || c.Cols != n {
 		panic(fmt.Sprintf("blas: Gemm64 output %d×%d, want %d×%d", c.Rows, c.Cols, m, n))
 	}
+	if gm := metrics.Load(); gm != nil {
+		gm.recordGemm(m, n, k)
+	}
 	switch beta {
 	case 1:
 	case 0:

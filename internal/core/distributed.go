@@ -5,11 +5,13 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/hf"
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/tensor"
 )
@@ -56,7 +58,8 @@ type distObjective struct {
 	comm  *mpi.Comm
 	dim   int
 	theta tensor.Vector
-	err   error // first communication error; surfaces at Err()
+	ob    *obs.Observer // nil disables spans; methods stay allocation-free
+	err   error         // first communication error; surfaces at Err()
 }
 
 func (o *distObjective) fail(err error) {
@@ -81,6 +84,7 @@ func (o *distObjective) Params() tensor.Vector { return o.theta.Clone() }
 // SetParams implements hf.Objective: synchronizes θ to all workers via
 // broadcast, the §V-B sync_weights path.
 func (o *distObjective) SetParams(p tensor.Vector) {
+	defer o.ob.Span(0, "sync_weights").End()
 	copy(o.theta, p)
 	o.comm.SetPhase("sync_weights")
 	o.cmd(opSetParams, 0)
@@ -90,6 +94,7 @@ func (o *distObjective) SetParams(p tensor.Vector) {
 // Gradient implements hf.Objective: workers compute shard gradients; a
 // tree reduction combines them at the master.
 func (o *distObjective) Gradient() tensor.Vector {
+	defer o.ob.Span(0, "gradient_loss").End()
 	o.comm.SetPhase("gradient_loss")
 	o.cmd(opGradient, 0)
 	grad := tensor.NewVector(o.dim)
@@ -112,6 +117,7 @@ func (o *distObjective) NewCurvatureSample(iter int) {
 // per-shard Gauss-Newton products — the two collectives per CG iteration
 // that dominate worker MPI time in the paper's Figure 5.
 func (o *distObjective) GNProduct(v, out tensor.Vector) {
+	defer o.ob.Span(0, "cg_minimize").End()
 	o.comm.SetPhase("cg_minimize")
 	o.cmd(opGNProduct, 0)
 	o.fail(o.comm.Bcast(0, v))
@@ -126,6 +132,7 @@ func (o *distObjective) GNProduct(v, out tensor.Vector) {
 
 // HeldOutLoss implements hf.Objective.
 func (o *distObjective) HeldOutLoss(p tensor.Vector) float64 {
+	defer o.ob.Span(0, "loss_eval").End()
 	o.comm.SetPhase("loss_eval")
 	o.cmd(opHeldLoss, 0)
 	o.fail(o.comm.Bcast(0, p))
@@ -142,6 +149,7 @@ func (o *distObjective) HeldOutLoss(p tensor.Vector) float64 {
 // curvature sample; the master normalizes and applies the Martens
 // exponent.
 func (o *distObjective) CurvatureDiag(lambda float64) tensor.Vector {
+	defer o.ob.Span(0, "cg_minimize").End()
 	o.comm.SetPhase("cg_minimize")
 	o.cmd(opFisherDiag, 0)
 	diag := tensor.NewVector(o.dim)
@@ -157,6 +165,7 @@ func (o *distObjective) CurvatureDiag(lambda float64) tensor.Vector {
 
 // heldOutAccuracy gathers frame accuracy at the current parameters.
 func (o *distObjective) heldOutAccuracy() float64 {
+	defer o.ob.Span(0, "loss_eval").End()
 	o.comm.SetPhase("loss_eval")
 	o.cmd(opAccuracy, 0)
 	stats := []float64{0, 0}
@@ -181,6 +190,8 @@ type MasterResult struct {
 	HF hf.Result
 	// HeldOutAccuracy is final frame accuracy on the held-out set.
 	HeldOutAccuracy float64
+	// MPIProfile is the master rank's per-phase communication snapshot.
+	MPIProfile []mpi.PhaseStat
 }
 
 // RunMaster drives a distributed HF training run from rank 0: it
@@ -189,6 +200,14 @@ type MasterResult struct {
 // shuts the workers down. part defaults to the paper's sorted-greedy
 // equal-frame partitioner.
 func RunMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner) (*MasterResult, error) {
+	return RunMasterObs(comm, p, cfg, part, nil)
+}
+
+// RunMasterObs is RunMaster with an observer: phase spans on rank 0,
+// per-collective metrics routed through the communicator, and a
+// per-iteration wall-time histogram ("core.hf.iter_wall_ns"). A nil
+// observer makes it identical to RunMaster.
+func RunMasterObs(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
 	if comm.Rank() != 0 {
 		return nil, fmt.Errorf("core: RunMaster called on rank %d", comm.Rank())
 	}
@@ -202,10 +221,14 @@ func RunMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner
 	if part == nil {
 		part = corpus.SortedGreedy{}
 	}
+	comm.SetMetrics(ob.Registry())
 
 	// load_data: partition utterances over workers and ship each shard
 	// point-to-point, the master-serialized phase of Figures 2/4.
-	if err := shipShards(comm, p, part); err != nil {
+	sp := ob.Span(0, "load_data")
+	err := shipShards(comm, p, part)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
@@ -216,8 +239,24 @@ func RunMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner
 	} else {
 		net.InitGlorot(rand.New(rand.NewSource(p.Seed)))
 	}
-	obj := &distObjective{comm: comm, dim: net.NumParams(), theta: net.Params.Clone()}
+	obj := &distObjective{comm: comm, dim: net.NumParams(), theta: net.Params.Clone(), ob: ob}
 	obj.SetParams(obj.theta)
+
+	if reg := ob.Registry(); reg != nil {
+		// Epoch accounting: the wall time of each outer HF iteration,
+		// observed from the telemetry hook (chained, not replaced).
+		iterWall := reg.Histogram("core.hf.iter_wall_ns")
+		prev := cfg.Telemetry
+		last := time.Now()
+		cfg.Telemetry = func(s hf.IterStats) {
+			now := time.Now()
+			iterWall.Observe(now.Sub(last).Nanoseconds())
+			last = now
+			if prev != nil {
+				prev(s)
+			}
+		}
+	}
 
 	res := hf.Optimize(obj, cfg)
 	acc := obj.heldOutAccuracy()
@@ -225,7 +264,12 @@ func RunMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner
 	if err := obj.Err(); err != nil {
 		return nil, err
 	}
-	return &MasterResult{Params: obj.theta.Clone(), HF: res, HeldOutAccuracy: acc}, nil
+	return &MasterResult{
+		Params:          obj.theta.Clone(),
+		HF:              res,
+		HeldOutAccuracy: acc,
+		MPIProfile:      comm.Profiler().Snapshot(),
+	}, nil
 }
 
 // shipShards partitions the problem's data over the workers and sends
@@ -290,87 +334,137 @@ func recvShard(comm *mpi.Comm) (*engine, error) {
 // master sends opStop. It receives its data shard, then serves gradient,
 // curvature-product and loss requests over collectives.
 func RunWorker(comm *mpi.Comm) error {
-	if comm.Rank() == 0 {
+	return RunWorkerObs(comm, nil)
+}
+
+// RunWorkerObs is RunWorker with an observer: per-phase spans labelled
+// with this worker's rank, shard-size gauges, and a counter of time
+// spent blocked on the master's command broadcast
+// ("core.worker.<rank>.wait_ns" — the straggler/idle signal of the
+// paper's Figure 5). A nil observer makes it identical to RunWorker.
+func RunWorkerObs(comm *mpi.Comm, ob *obs.Observer) error {
+	rank := comm.Rank()
+	if rank == 0 {
 		return fmt.Errorf("core: RunWorker called on rank 0")
 	}
+	comm.SetMetrics(ob.Registry())
+
+	sp := ob.Span(rank, "load_data")
 	eng, err := recvShard(comm)
+	sp.End()
 	if err != nil {
 		return err
 	}
+
+	var wait *obs.Counter
+	if reg := ob.Registry(); reg != nil {
+		reg.Gauge(fmt.Sprintf("core.worker.%d.train_frames", rank)).Set(float64(eng.train.frames()))
+		reg.Gauge(fmt.Sprintf("core.worker.%d.held_frames", rank)).Set(float64(eng.heldout.frames()))
+		wait = reg.Counter(fmt.Sprintf("core.worker.%d.wait_ns", rank))
+	}
+
 	dim := eng.net.NumParams()
 	cmd := make([]float32, 2)
 	paramBuf := make(tensor.Vector, dim)
 
 	for {
 		comm.SetPhase("ctrl")
-		if err := comm.Bcast(0, cmd); err != nil {
-			return fmt.Errorf("core: worker %d command: %w", comm.Rank(), err)
+		var t0 time.Time
+		if wait != nil {
+			t0 = time.Now()
 		}
-		switch cmd[0] {
-		case opSetParams:
-			comm.SetPhase("sync_weights")
-			if err := comm.Bcast(0, paramBuf); err != nil {
-				return err
-			}
-			eng.setParams(paramBuf)
-		case opGradient:
-			comm.SetPhase("gradient_loss")
-			grad := tensor.NewVector(dim)
-			loss, frames := eng.gradient(grad)
-			if err := comm.Reduce(0, mpi.OpSum, grad); err != nil {
-				return err
-			}
-			if err := comm.ReduceF64(0, mpi.OpSum, []float64{loss, float64(frames)}); err != nil {
-				return err
-			}
-		case opSample:
-			eng.drawSample(int(cmd[1]))
-		case opGNProduct:
-			comm.SetPhase("worker_curvature_product")
-			v := make(tensor.Vector, dim)
-			if err := comm.Bcast(0, v); err != nil {
-				return err
-			}
-			out := tensor.NewVector(dim)
-			frames := eng.gnProduct(v, out)
-			if err := comm.Reduce(0, mpi.OpSum, out); err != nil {
-				return err
-			}
-			if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(frames)}); err != nil {
-				return err
-			}
-		case opHeldLoss:
-			comm.SetPhase("loss_eval")
-			trial := make(tensor.Vector, dim)
-			if err := comm.Bcast(0, trial); err != nil {
-				return err
-			}
-			loss, frames := eng.heldLossAt(trial)
-			if err := comm.ReduceF64(0, mpi.OpSum, []float64{loss, float64(frames)}); err != nil {
-				return err
-			}
-		case opAccuracy:
-			comm.SetPhase("loss_eval")
-			correct, frames := eng.heldAccuracy()
-			if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(correct), float64(frames)}); err != nil {
-				return err
-			}
-		case opFisherDiag:
-			comm.SetPhase("cg_minimize")
-			diag := tensor.NewVector(dim)
-			frames := eng.fisherDiag(diag)
-			if err := comm.Reduce(0, mpi.OpSum, diag); err != nil {
-				return err
-			}
-			if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(frames)}); err != nil {
-				return err
-			}
-		case opStop:
-			return nil
-		default:
-			return fmt.Errorf("core: worker %d unknown opcode %v", comm.Rank(), cmd[0])
+		if err := comm.Bcast(0, cmd); err != nil {
+			return fmt.Errorf("core: worker %d command: %w", rank, err)
+		}
+		if wait != nil {
+			wait.Add(time.Since(t0).Nanoseconds())
+		}
+		done, err := workerStep(comm, eng, ob, cmd[0], cmd[1], paramBuf)
+		if done || err != nil {
+			return err
 		}
 	}
+}
+
+// workerStep serves one master command on a worker rank; done reports
+// opStop. Split out of the command loop so every opcode's span can End
+// by defer regardless of how the case exits.
+func workerStep(comm *mpi.Comm, eng *engine, ob *obs.Observer, op, arg float32, paramBuf tensor.Vector) (done bool, err error) {
+	rank := comm.Rank()
+	dim := len(paramBuf)
+	switch op {
+	case opSetParams:
+		defer ob.Span(rank, "sync_weights").End()
+		comm.SetPhase("sync_weights")
+		if err := comm.Bcast(0, paramBuf); err != nil {
+			return false, err
+		}
+		eng.setParams(paramBuf)
+	case opGradient:
+		defer ob.Span(rank, "gradient_loss").End()
+		comm.SetPhase("gradient_loss")
+		grad := tensor.NewVector(dim)
+		loss, frames := eng.gradient(grad)
+		if err := comm.Reduce(0, mpi.OpSum, grad); err != nil {
+			return false, err
+		}
+		if err := comm.ReduceF64(0, mpi.OpSum, []float64{loss, float64(frames)}); err != nil {
+			return false, err
+		}
+	case opSample:
+		eng.drawSample(int(arg))
+	case opGNProduct:
+		defer ob.Span(rank, "cg_minimize").End()
+		comm.SetPhase("worker_curvature_product")
+		v := make(tensor.Vector, dim)
+		if err := comm.Bcast(0, v); err != nil {
+			return false, err
+		}
+		out := tensor.NewVector(dim)
+		inner := ob.Span(rank, "worker_curvature_product")
+		frames := eng.gnProduct(v, out)
+		inner.End()
+		if err := comm.Reduce(0, mpi.OpSum, out); err != nil {
+			return false, err
+		}
+		if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(frames)}); err != nil {
+			return false, err
+		}
+	case opHeldLoss:
+		defer ob.Span(rank, "loss_eval").End()
+		comm.SetPhase("loss_eval")
+		trial := make(tensor.Vector, dim)
+		if err := comm.Bcast(0, trial); err != nil {
+			return false, err
+		}
+		loss, frames := eng.heldLossAt(trial)
+		if err := comm.ReduceF64(0, mpi.OpSum, []float64{loss, float64(frames)}); err != nil {
+			return false, err
+		}
+	case opAccuracy:
+		defer ob.Span(rank, "loss_eval").End()
+		comm.SetPhase("loss_eval")
+		correct, frames := eng.heldAccuracy()
+		if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(correct), float64(frames)}); err != nil {
+			return false, err
+		}
+	case opFisherDiag:
+		defer ob.Span(rank, "cg_minimize").End()
+		comm.SetPhase("cg_minimize")
+		diag := tensor.NewVector(dim)
+		frames := eng.fisherDiag(diag)
+		if err := comm.Reduce(0, mpi.OpSum, diag); err != nil {
+			return false, err
+		}
+		if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(frames)}); err != nil {
+			return false, err
+		}
+	case opStop:
+		return true, nil
+	default:
+		return false, fmt.Errorf("core: worker %d unknown opcode %v", rank, op)
+	}
+	return false, nil
 }
 
 // TrainDistributedHF runs one master and workers−0 worker ranks as
@@ -378,6 +472,14 @@ func RunWorker(comm *mpi.Comm) error {
 // the paper's MPI job. ranks counts all processes including the master,
 // so ranks=5 means 4 workers.
 func TrainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner) (*MasterResult, error) {
+	return TrainDistributedHFObs(p, cfg, ranks, part, nil)
+}
+
+// TrainDistributedHFObs is TrainDistributedHF with a single observer
+// shared by all in-process ranks, so one trace holds every rank's spans
+// and one registry aggregates all ranks' metrics. A nil observer makes
+// it identical to TrainDistributedHF.
+func TrainDistributedHFObs(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
 	if ranks < 2 {
 		return nil, fmt.Errorf("core: need ≥2 ranks, got %d", ranks)
 	}
@@ -387,10 +489,10 @@ func TrainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partiti
 	workerErrs := make(chan error, ranks-1)
 	for r := 1; r < ranks; r++ {
 		go func(r int) {
-			workerErrs <- RunWorker(mpi.NewComm(fabric.Transport(r)))
+			workerErrs <- RunWorkerObs(mpi.NewComm(fabric.Transport(r)), ob)
 		}(r)
 	}
-	res, err := RunMaster(mpi.NewComm(fabric.Transport(0)), p, cfg, part)
+	res, err := RunMasterObs(mpi.NewComm(fabric.Transport(0)), p, cfg, part, ob)
 	if err != nil {
 		fabric.Close() // unblock any workers still waiting
 	}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/hf"
+)
+
+// iterRecord is the JSONL export shape of one outer HF iteration — the
+// per-iteration telemetry the paper's Table 1/Figure 3 discussion reads
+// off (loss trajectory, damping, CG effort).
+type iterRecord struct {
+	Iter       int     `json:"iter"`
+	Loss       float64 `json:"loss"`
+	Lambda     float64 `json:"lambda"`
+	Rho        float64 `json:"rho"`
+	CGIters    int     `json:"cg_iters"`
+	Backtracks int     `json:"backtracks"`
+	BestIdx    int     `json:"best_idx"`
+	Alpha      float64 `json:"alpha"`
+	Accepted   bool    `json:"accepted"`
+	GradNorm   float64 `json:"grad_norm"`
+}
+
+// TelemetryJSONL returns an hf.Config.Telemetry hook that appends one
+// JSON line per HF iteration to w. Write errors are dropped: telemetry
+// must never abort a training run.
+func TelemetryJSONL(w io.Writer) func(hf.IterStats) {
+	enc := json.NewEncoder(w)
+	return func(s hf.IterStats) {
+		_ = enc.Encode(iterRecord{
+			Iter:       s.Iter,
+			Loss:       s.Loss,
+			Lambda:     s.Lambda,
+			Rho:        s.Rho,
+			CGIters:    s.CGIters,
+			Backtracks: s.Backtracks,
+			BestIdx:    s.BestIdx,
+			Alpha:      s.Alpha,
+			Accepted:   s.Accepted,
+			GradNorm:   s.GradNorm,
+		})
+	}
+}

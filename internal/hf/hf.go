@@ -67,8 +67,24 @@ type Config struct {
 	// UsePreconditioner enables the Martens diagonal CG preconditioner
 	// when the objective implements Preconditioned.
 	UsePreconditioner bool
-	// Log, when non-nil, receives per-iteration statistics.
+	// Log, when non-nil, receives per-iteration statistics (intended
+	// for human-readable progress logging).
 	Log func(IterStats)
+	// Telemetry, when non-nil, also receives per-iteration statistics —
+	// the machine-readable observability hook (e.g. JSONL emission via
+	// core.TelemetryJSONL). Both hooks fire once per outer iteration,
+	// accepted or rejected.
+	Telemetry func(IterStats)
+}
+
+// emit delivers one iteration's statistics to the configured hooks.
+func (c Config) emit(s IterStats) {
+	if c.Log != nil {
+		c.Log(s)
+	}
+	if c.Telemetry != nil {
+		c.Telemetry(s)
+	}
 }
 
 func (c Config) filled() Config {
@@ -104,6 +120,14 @@ type IterStats struct {
 	Alpha    float64 // line-search step size
 	Accepted bool    // false when the step was rejected (λ raised)
 	GradNorm float64
+	// Rho is the Levenberg-Marquardt reduction ratio
+	// (actual improvement)/(model-predicted improvement); 0 when the
+	// iteration was rejected or the model predicted no decrease.
+	Rho float64
+	// Backtracks counts the CG iterates examined by the backtracking
+	// scan beyond the final one (each costs one held-out loss
+	// evaluation).
+	Backtracks int
 }
 
 // Result summarizes an Optimize run.
@@ -157,6 +181,7 @@ func Optimize(obj Objective, cfg Config) Result {
 		lossBest := lossAt(obj, theta, cg.Iterates[best])
 		for i := best - 1; i >= 0; i-- {
 			lossCurr := lossAt(obj, theta, cg.Iterates[i])
+			stats.Backtracks++
 			if lossPrev >= lossBest && lossCurr >= lossBest {
 				break
 			}
@@ -175,9 +200,7 @@ func Optimize(obj Objective, cfg Config) Result {
 			stats.Accepted = false
 			stats.Loss = lossPrev
 			res.Iters = append(res.Iters, stats)
-			if cfg.Log != nil {
-				cfg.Log(stats)
-			}
+			cfg.emit(stats)
 			consecutiveRejects++
 			if consecutiveRejects >= 8 {
 				break // damping has grown past any useful step
@@ -192,6 +215,7 @@ func Optimize(obj Objective, cfg Config) Result {
 		qN := cg.FinalQ()
 		if qN < 0 {
 			rho := (lossBest - lossPrev) / qN
+			stats.Rho = rho
 			if rho < 0.25 {
 				lambda *= 1.5
 			} else if rho > 0.75 {
@@ -229,9 +253,7 @@ func Optimize(obj Objective, cfg Config) Result {
 		stats.Accepted = true
 		stats.Loss = lossNew
 		res.Iters = append(res.Iters, stats)
-		if cfg.Log != nil {
-			cfg.Log(stats)
-		}
+		cfg.emit(stats)
 		if cfg.TolRelImprove > 0 && improvement >= 0 && improvement < cfg.TolRelImprove {
 			break
 		}

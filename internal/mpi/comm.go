@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Op is a reduction operator for Reduce/Allreduce.
@@ -86,6 +88,11 @@ func (c *Comm) Size() int { return c.t.Size() }
 // Profiler returns the communication profiler for this rank.
 func (c *Comm) Profiler() *Profiler { return c.prof }
 
+// SetMetrics routes this communicator's per-operation latency/bytes
+// data into the given obs registry (see Profiler.SetRegistry); nil
+// detaches. Disabled communicators pay only a nil check per operation.
+func (c *Comm) SetMetrics(r *obs.Registry) { c.prof.SetRegistry(r) }
+
 // SetPhase labels subsequent communication for the profiler.
 func (c *Comm) SetPhase(name string) { c.prof.SetPhase(name) }
 
@@ -98,7 +105,7 @@ func (c *Comm) Close() error { return c.t.Close() }
 func (c *Comm) SendBytes(dst, tag int, data []byte) error {
 	start := time.Now()
 	err := c.t.Send(dst, tag, data)
-	c.prof.add(CatP2P, time.Since(start), int64(len(data)))
+	c.prof.addOp(CatP2P, "send", time.Since(start), int64(len(data)))
 	return err
 }
 
@@ -106,7 +113,7 @@ func (c *Comm) SendBytes(dst, tag int, data []byte) error {
 func (c *Comm) RecvBytes(src, tag int) (Message, error) {
 	start := time.Now()
 	msg, err := c.t.Recv(src, tag)
-	c.prof.add(CatP2P, time.Since(start), int64(len(msg.Data)))
+	c.prof.addOp(CatP2P, "recv", time.Since(start), int64(len(msg.Data)))
 	return msg, err
 }
 
@@ -143,11 +150,12 @@ func (c *Comm) RecvInts(src, tag int) ([]int, error) {
 // All collectives must be called by every rank of the communicator with
 // compatible arguments, like their MPI counterparts.
 
-// timedCollective wraps fn with collective-category profiling.
-func (c *Comm) timedCollective(bytes int64, fn func() error) error {
+// timedCollective wraps fn with collective-category profiling under the
+// given operation name (the per-collective histogram key).
+func (c *Comm) timedCollective(op string, bytes int64, fn func() error) error {
 	start := time.Now()
 	err := fn()
-	c.prof.add(CatCollective, time.Since(start), bytes)
+	c.prof.addOp(CatCollective, op, time.Since(start), bytes)
 	return err
 }
 
@@ -162,7 +170,7 @@ func absRank(v, root, size int) int { return (v + root) % size }
 // overwritten with root's data.
 func (c *Comm) Bcast(root int, buf []float32) error {
 	checkRank("bcast root", root, c.Size())
-	return c.timedCollective(int64(4*len(buf)), func() error {
+	return c.timedCollective("bcast", int64(4*len(buf)), func() error {
 		size := c.Size()
 		if size == 1 {
 			return nil
@@ -209,7 +217,7 @@ func (c *Comm) Bcast(root int, buf []float32) error {
 // results are deterministic run to run.
 func (c *Comm) Reduce(root int, op Op, buf []float32) error {
 	checkRank("reduce root", root, c.Size())
-	return c.timedCollective(int64(4*len(buf)), func() error {
+	return c.timedCollective("reduce", int64(4*len(buf)), func() error {
 		size := c.Size()
 		vr := vrank(c.Rank(), root, size)
 		tmp := make([]float32, len(buf))
@@ -239,7 +247,7 @@ func (c *Comm) Reduce(root int, op Op, buf []float32) error {
 // need double-precision accumulation).
 func (c *Comm) ReduceF64(root int, op Op, buf []float64) error {
 	checkRank("reduce root", root, c.Size())
-	return c.timedCollective(int64(8*len(buf)), func() error {
+	return c.timedCollective("reduce", int64(8*len(buf)), func() error {
 		size := c.Size()
 		vr := vrank(c.Rank(), root, size)
 		tmp := make([]float64, len(buf))
@@ -279,7 +287,7 @@ func (c *Comm) Allreduce(op Op, buf []float32) error {
 		}
 		return c.Bcast(0, buf)
 	}
-	return c.timedCollective(int64(4*len(buf)), func() error {
+	return c.timedCollective("allreduce", int64(4*len(buf)), func() error {
 		rank := c.Rank()
 		tmp := make([]float32, len(buf))
 		for mask := 1; mask < size; mask <<= 1 {
@@ -306,7 +314,7 @@ func (c *Comm) AllreduceF64(op Op, buf []float64) error {
 		return err
 	}
 	// Broadcast the float64 result via the byte path of Bcast's tree.
-	return c.timedCollective(int64(8*len(buf)), func() error {
+	return c.timedCollective("bcast", int64(8*len(buf)), func() error {
 		size := c.Size()
 		if size == 1 {
 			return nil
@@ -344,7 +352,7 @@ func (c *Comm) AllreduceF64(op Op, buf []float64) error {
 // Barrier blocks until every rank has entered it (dissemination barrier,
 // ⌈log₂P⌉ rounds).
 func (c *Comm) Barrier() error {
-	return c.timedCollective(0, func() error {
+	return c.timedCollective("barrier", 0, func() error {
 		size := c.Size()
 		rank := c.Rank()
 		for dist := 1; dist < size; dist <<= 1 {
@@ -366,7 +374,7 @@ func (c *Comm) Barrier() error {
 // where it must have Size()*len(send) elements.
 func (c *Comm) Gather(root int, send, recv []float32) error {
 	checkRank("gather root", root, c.Size())
-	return c.timedCollective(int64(4*len(send)), func() error {
+	return c.timedCollective("gather", int64(4*len(send)), func() error {
 		if c.Rank() != root {
 			return c.t.Send(root, tagGather, encodeF32(send))
 		}
@@ -396,7 +404,7 @@ func (c *Comm) Gather(root int, send, recv []float32) error {
 // where it must have Size()*len(recv) elements.
 func (c *Comm) Scatter(root int, send, recv []float32) error {
 	checkRank("scatter root", root, c.Size())
-	return c.timedCollective(int64(4*len(recv)), func() error {
+	return c.timedCollective("scatter", int64(4*len(recv)), func() error {
 		n := len(recv)
 		if c.Rank() == root {
 			if len(send) != n*c.Size() {
@@ -426,7 +434,7 @@ func (c *Comm) Scatter(root int, send, recv []float32) error {
 // rank's recv buffer using a ring, recv[i*len(send):] holding rank i's
 // contribution.
 func (c *Comm) Allgather(send, recv []float32) error {
-	return c.timedCollective(int64(4*len(send)), func() error {
+	return c.timedCollective("allgather", int64(4*len(send)), func() error {
 		size := c.Size()
 		rank := c.Rank()
 		n := len(send)

@@ -1,9 +1,14 @@
 package mpi
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Category classifies communication the way the paper's Figures 4 and 5
@@ -15,9 +20,13 @@ const (
 	CatP2P Category = iota
 	// CatCollective covers Bcast/Reduce/... (e.g. sync_weights).
 	CatCollective
+	// numCategories counts the defined categories; keep it last.
+	numCategories
 )
 
-// String returns the category label used in reports.
+// String returns the category label used in reports. Categories added
+// in the future render as "category(N)" until given a label here, so a
+// report never silently conflates two unlabeled categories.
 func (c Category) String() string {
 	switch c {
 	case CatP2P:
@@ -25,7 +34,7 @@ func (c Category) String() string {
 	case CatCollective:
 		return "collective"
 	default:
-		return "unknown"
+		return fmt.Sprintf("category(%d)", int(c))
 	}
 }
 
@@ -34,6 +43,19 @@ type Stat struct {
 	Time  time.Duration
 	Bytes int64
 	Calls int64
+	// Min and Max are the fastest and slowest single call in the cell
+	// (Min is meaningful only when Calls > 0).
+	Min time.Duration
+	Max time.Duration
+}
+
+// MeanLatency returns the mean per-call latency of the cell, 0 when no
+// calls were recorded.
+func (s Stat) MeanLatency() time.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.Time / time.Duration(s.Calls)
 }
 
 type statKey struct {
@@ -41,18 +63,42 @@ type statKey struct {
 	Cat   Category
 }
 
+// opMetrics caches the obs instruments for one MPI operation so the hot
+// path does a map lookup under the profiler mutex it already holds,
+// never a registry lock.
+type opMetrics struct {
+	lat   *obs.Histogram
+	bytes *obs.Histogram
+}
+
 // Profiler records per-phase, per-category communication statistics for
 // one rank. It is safe for concurrent use, although a rank is normally
-// single-threaded.
+// single-threaded. When a metrics registry is attached (SetRegistry) the
+// profiler additionally feeds per-operation latency/bytes histograms
+// into it, making the registry the single source of truth for
+// communication metrics.
 type Profiler struct {
 	mu    sync.Mutex
 	phase string
 	stats map[statKey]*Stat
+	reg   *obs.Registry
+	ops   map[string]*opMetrics
 }
 
 // NewProfiler returns an empty profiler with phase "".
 func NewProfiler() *Profiler {
 	return &Profiler{stats: make(map[statKey]*Stat)}
+}
+
+// SetRegistry routes this profiler's per-operation data into the given
+// obs registry as "mpi.<op>.latency_ns" and "mpi.<op>.bytes" histograms
+// (op = send, recv, bcast, reduce, allreduce, barrier, gather, scatter,
+// allgather, ...). A nil registry detaches.
+func (p *Profiler) SetRegistry(r *obs.Registry) {
+	p.mu.Lock()
+	p.reg = r
+	p.ops = make(map[string]*opMetrics)
+	p.mu.Unlock()
 }
 
 // SetPhase labels subsequent communication with the given phase name
@@ -71,6 +117,13 @@ func (p *Profiler) Phase() string {
 }
 
 func (p *Profiler) add(cat Category, d time.Duration, bytes int64) {
+	p.addOp(cat, "", d, bytes)
+}
+
+// addOp records one call of the named MPI operation: into the per-phase
+// per-category table always, and into the attached registry's
+// per-operation histograms when one is set.
+func (p *Profiler) addOp(cat Category, op string, d time.Duration, bytes int64) {
 	p.mu.Lock()
 	k := statKey{Phase: p.phase, Cat: cat}
 	s := p.stats[k]
@@ -78,10 +131,31 @@ func (p *Profiler) add(cat Category, d time.Duration, bytes int64) {
 		s = &Stat{}
 		p.stats[k] = s
 	}
+	if s.Calls == 0 || d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
 	s.Time += d
 	s.Bytes += bytes
 	s.Calls++
+	var m *opMetrics
+	if p.reg != nil && op != "" {
+		m = p.ops[op]
+		if m == nil {
+			m = &opMetrics{
+				lat:   p.reg.Histogram("mpi." + op + ".latency_ns"),
+				bytes: p.reg.Histogram("mpi." + op + ".bytes"),
+			}
+			p.ops[op] = m
+		}
+	}
 	p.mu.Unlock()
+	if m != nil {
+		m.lat.Observe(d.Nanoseconds())
+		m.bytes.Observe(bytes)
+	}
 }
 
 // PhaseStat is one row of a profiler snapshot.
@@ -109,6 +183,63 @@ func (p *Profiler) Snapshot() []PhaseStat {
 	return out
 }
 
+// phaseStatJSON is the export shape of one snapshot row.
+type phaseStatJSON struct {
+	Phase    string  `json:"phase"`
+	Category string  `json:"category"`
+	TimeNs   int64   `json:"time_ns"`
+	Bytes    int64   `json:"bytes"`
+	Calls    int64   `json:"calls"`
+	MinNs    int64   `json:"min_ns"`
+	MaxNs    int64   `json:"max_ns"`
+	MeanNs   int64   `json:"mean_ns"`
+	MeanMBps float64 `json:"mean_mb_per_s"`
+}
+
+// WriteJSON exports the profiler snapshot as indented JSON, one record
+// per (phase, category) cell with total/min/max/mean latency and
+// throughput.
+func (p *Profiler) WriteJSON(w io.Writer) error {
+	snap := p.Snapshot()
+	rows := make([]phaseStatJSON, 0, len(snap))
+	for _, ps := range snap {
+		r := phaseStatJSON{
+			Phase:    ps.Phase,
+			Category: ps.Cat.String(),
+			TimeNs:   ps.Stat.Time.Nanoseconds(),
+			Bytes:    ps.Stat.Bytes,
+			Calls:    ps.Stat.Calls,
+			MinNs:    ps.Stat.Min.Nanoseconds(),
+			MaxNs:    ps.Stat.Max.Nanoseconds(),
+			MeanNs:   ps.Stat.MeanLatency().Nanoseconds(),
+		}
+		if sec := ps.Stat.Time.Seconds(); sec > 0 {
+			r.MeanMBps = float64(ps.Stat.Bytes) / 1e6 / sec
+		}
+		rows = append(rows, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// WeightedMeanLatency returns the Calls-weighted mean per-call latency
+// across the given snapshot rows: total time over total calls. This is
+// the aggregate a report row should show — a plain average of per-cell
+// means would overweight rare slow phases.
+func WeightedMeanLatency(stats []PhaseStat) time.Duration {
+	var total time.Duration
+	var calls int64
+	for _, ps := range stats {
+		total += ps.Stat.Time
+		calls += ps.Stat.Calls
+	}
+	if calls == 0 {
+		return 0
+	}
+	return total / time.Duration(calls)
+}
+
 // TotalByCategory sums the recorded time per category across phases.
 func (p *Profiler) TotalByCategory() map[Category]time.Duration {
 	p.mu.Lock()
@@ -120,7 +251,8 @@ func (p *Profiler) TotalByCategory() map[Category]time.Duration {
 	return out
 }
 
-// Reset clears all accumulated statistics but keeps the current phase.
+// Reset clears all accumulated statistics but keeps the current phase
+// and the attached registry.
 func (p *Profiler) Reset() {
 	p.mu.Lock()
 	p.stats = make(map[statKey]*Stat)

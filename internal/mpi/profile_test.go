@@ -1,8 +1,12 @@
 package mpi
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestProfilerRecordsCategories(t *testing.T) {
@@ -89,8 +93,104 @@ func TestCategoryString(t *testing.T) {
 	if CatP2P.String() != "point-to-point" || CatCollective.String() != "collective" {
 		t.Fatal("category labels wrong")
 	}
-	if Category(99).String() != "unknown" {
-		t.Fatal("unknown category label wrong")
+	// Future categories must render distinctly, not collapse into one
+	// shared "unknown" label.
+	if got := Category(99).String(); got != "category(99)" {
+		t.Fatalf("future category label = %q, want category(99)", got)
+	}
+	if Category(99).String() == Category(98).String() {
+		t.Fatal("two unlabeled categories rendered identically")
+	}
+	// Every defined category has a real label.
+	for c := Category(0); c < numCategories; c++ {
+		if strings.HasPrefix(c.String(), "category(") {
+			t.Fatalf("defined category %d has no label", c)
+		}
+	}
+}
+
+func TestStatMinMaxMean(t *testing.T) {
+	p := NewProfiler()
+	p.SetPhase("x")
+	p.add(CatP2P, 4*time.Millisecond, 10)
+	p.add(CatP2P, 2*time.Millisecond, 10)
+	p.add(CatP2P, 6*time.Millisecond, 10)
+	s := p.Snapshot()[0].Stat
+	if s.Min != 2*time.Millisecond || s.Max != 6*time.Millisecond {
+		t.Fatalf("min=%v max=%v", s.Min, s.Max)
+	}
+	if s.MeanLatency() != 4*time.Millisecond {
+		t.Fatalf("mean=%v", s.MeanLatency())
+	}
+	if (Stat{}).MeanLatency() != 0 {
+		t.Fatal("empty stat mean must be 0")
+	}
+}
+
+func TestWeightedMeanLatency(t *testing.T) {
+	stats := []PhaseStat{
+		{Stat: Stat{Time: 10 * time.Millisecond, Calls: 10}}, // mean 1ms
+		{Stat: Stat{Time: 10 * time.Millisecond, Calls: 1}},  // mean 10ms
+	}
+	// Calls-weighted: 20ms / 11 calls, not the 5.5ms cell-mean average.
+	want := 20 * time.Millisecond / 11
+	if got := WeightedMeanLatency(stats); got != want {
+		t.Fatalf("weighted mean = %v, want %v", got, want)
+	}
+	if WeightedMeanLatency(nil) != 0 {
+		t.Fatal("empty snapshot weighted mean must be 0")
+	}
+}
+
+func TestProfilerWriteJSON(t *testing.T) {
+	p := NewProfiler()
+	p.SetPhase("sync_weights")
+	p.add(CatCollective, 2*time.Millisecond, 4096)
+	var sb strings.Builder
+	if err := p.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rows); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r["phase"] != "sync_weights" || r["category"] != "collective" {
+		t.Fatalf("row: %+v", r)
+	}
+	for _, k := range []string{"time_ns", "bytes", "calls", "min_ns", "max_ns", "mean_ns"} {
+		if _, ok := r[k]; !ok {
+			t.Fatalf("row missing %q: %+v", k, r)
+		}
+	}
+}
+
+func TestProfilerRoutesIntoRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	runRanks(t, 4, func(c *Comm) {
+		c.SetMetrics(reg)
+		c.SetPhase("sync_weights")
+		if err := c.Bcast(0, make([]float32, 16)); err != nil {
+			t.Error(err)
+		}
+		buf := []float32{1}
+		if err := c.Reduce(0, OpSum, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	lat := reg.Histogram("mpi.bcast.latency_ns")
+	if lat.Count() != 4 {
+		t.Fatalf("bcast latency observations = %d, want 4 (one per rank)", lat.Count())
+	}
+	bytes := reg.Histogram("mpi.bcast.bytes")
+	if bytes.Sum() != 4*64 {
+		t.Fatalf("bcast bytes sum = %d, want %d", bytes.Sum(), 4*64)
+	}
+	if reg.Histogram("mpi.reduce.latency_ns").Count() != 4 {
+		t.Fatal("reduce not routed into registry")
 	}
 }
 

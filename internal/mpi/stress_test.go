@@ -31,12 +31,15 @@ func TestMessageStormExactlyOnce(t *testing.T) {
 			sendWG.Add(1)
 			go func() {
 				defer sendWG.Done()
+				// The sender runs concurrently with the receive loop below,
+				// so it needs its own RNG: *rand.Rand is not goroutine-safe.
+				sendRng := rand.New(rand.NewSource(int64(r) + 1000))
 				for dst := 0; dst < ranks; dst++ {
 					if dst == r {
 						continue
 					}
 					for seq := 0; seq < perPair; seq++ {
-						payload := []byte{byte(r), byte(dst), byte(seq), byte(rng.Intn(256))}
+						payload := []byte{byte(r), byte(dst), byte(seq), byte(sendRng.Intn(256))}
 						if err := c.SendBytes(dst, 100+seq, payload); err != nil {
 							errs <- err.Error()
 							return

@@ -1,0 +1,43 @@
+// Package obs is the unified observability layer for the trainer: a
+// metrics registry (atomic counters, gauges and bucketed histograms), a
+// span tracer exporting Chrome trace-event JSON, and the Observer bundle
+// the runtime threads through master and worker ranks.
+//
+// The paper's core evidence (Figures 2-5) is per-function cycle and MPI
+// time attribution; this package produces the same per-phase breakdowns
+// from *real* runs rather than the simulator's model. A traced
+// cmd/hftrain run renders per-rank tracks for load_data, gradient_loss,
+// worker_curvature_product, sync_weights, cg_minimize and loss_eval in
+// any Chrome-trace viewer (chrome://tracing, Perfetto).
+//
+// Everything is nil-safe: a nil *Registry, *Tracer, *Observer, *Counter,
+// *Gauge or *Histogram turns every method into a no-op, so instrumented
+// hot paths pay only a pointer check (and zero allocations) when
+// observability is disabled. TestDisabledObsIsNoop enforces this.
+package obs
+
+// Observer bundles the metrics registry and span tracer handed to one
+// rank (or shared by all in-process ranks; both halves are safe for
+// concurrent use). The zero value and nil are valid, disabled observers.
+type Observer struct {
+	// Metrics receives counters, gauges and histograms; nil disables.
+	Metrics *Registry
+	// Trace receives spans; nil disables.
+	Trace *Tracer
+}
+
+// Span starts a span on the observer's tracer; nil-safe.
+func (o *Observer) Span(rank int, name string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.Trace.Begin(rank, name)
+}
+
+// Registry returns the metrics registry, or nil when disabled; nil-safe.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.calls")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x.calls") != c {
+		t.Fatal("Counter must return the same instrument for the same name")
+	}
+	g := r.Gauge("x.frames")
+	g.Set(123.5)
+	if g.Value() != 123.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 1106.0/5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean=%v want %v", got, want)
+	}
+	// The median observation is 3; its power-of-two bucket upper bound is 3.
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("p50=%d want 3", q)
+	}
+	// p99 of 5 observations is the largest one's bucket: 1000 ≤ 1023.
+	if q := h.Quantile(0.99); q != 1023 {
+		t.Fatalf("p99=%d want 1023", q)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v   int64
+		idx int
+	}{{0, 0}, {-5, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {math.MaxInt64, 63}}
+	for _, c := range cases {
+		if got := bucketIdx(c.v); got != c.idx {
+			t.Errorf("bucketIdx(%d) = %d, want %d", c.v, got, c.idx)
+		}
+	}
+	if bucketUpper(0) != 0 || bucketUpper(10) != 1023 || bucketUpper(63) != math.MaxInt64 {
+		t.Fatal("bucketUpper bounds wrong")
+	}
+}
+
+// TestConcurrentHammer drives counters and histograms from many
+// goroutines; run with -race it proves the instruments are data-race
+// free and lose no updates.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer.calls")
+			h := r.Histogram("hammer.lat")
+			g := r.Gauge("hammer.gauge")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(w*perWorker + i + 1))
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	const n = workers * perWorker
+	if got := r.Counter("hammer.calls").Value(); got != n {
+		t.Fatalf("counter = %d, want %d", got, n)
+	}
+	h := r.Histogram("hammer.lat")
+	if h.Count() != n {
+		t.Fatalf("hist count = %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != int64(n)*(n+1)/2 {
+		t.Fatalf("hist sum = %d, want %d", h.Sum(), int64(n)*(n+1)/2)
+	}
+	if h.Min() != 1 || h.Max() != n {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	var bucketTotal int64
+	for _, b := range r.Snapshot().Histograms[0].Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != n {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, n)
+	}
+}
+
+// TestConcurrentSpans hammers one tracer from many goroutine ranks;
+// with -race this proves the tracer is safe across ranks.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const ranks = 8
+	const spans = 200
+	for rk := 0; rk < ranks; rk++ {
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				sp := tr.Begin(rk, "work")
+				sp.End()
+			}
+		}(rk)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != ranks*spans {
+		t.Fatalf("events = %d, want %d", got, ranks*spans)
+	}
+	if got := len(tr.Ranks()); got != ranks {
+		t.Fatalf("ranks = %d, want %d", got, ranks)
+	}
+}
+
+// fakeClock returns a clock function advancing step per call.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	cur := start
+	return func() time.Time {
+		now := cur
+		cur = cur.Add(step)
+		return now
+	}
+}
+
+// TestSpanNestingOrdering checks the invariants the trainer relies on:
+// spans opened LIFO on one rank are recorded with containment (child
+// interval inside parent interval), and Events() is sorted by start.
+func TestSpanNestingOrdering(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(tr.epoch, time.Millisecond)
+
+	outer := tr.Begin(0, "outer")
+	inner := tr.Begin(0, "inner")
+	inner.End()
+	later := tr.Begin(1, "other-rank")
+	later.End()
+	outer.End()
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events not sorted by start: %+v", evs)
+		}
+	}
+	byName := map[string]Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	out, in := byName["outer"], byName["inner"]
+	if in.Start < out.Start || in.Start+in.Dur > out.Start+out.Dur {
+		t.Fatalf("inner [%v,%v] not contained in outer [%v,%v]",
+			in.Start, in.Start+in.Dur, out.Start, out.Start+out.Dur)
+	}
+	if byName["other-rank"].Rank != 1 {
+		t.Fatal("rank label lost")
+	}
+}
+
+// TestChromeTraceGolden locks down the exported trace-event JSON with a
+// deterministic clock. Perfetto and chrome://tracing parse this format;
+// any change here is a compatibility break.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(tr.epoch, 500*time.Microsecond)
+
+	a := tr.Begin(0, "load_data") // the fake clock starts at the epoch: ts 0
+	a.End()
+	b := tr.Begin(1, "gradient_loss")
+	b.End()
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "pid": 0,
+   "tid": 0,
+   "ts": 0,
+   "args": {
+    "name": "rank 0 (master)"
+   }
+  },
+  {
+   "name": "load_data",
+   "ph": "X",
+   "pid": 0,
+   "tid": 0,
+   "ts": 0,
+   "dur": 500
+  },
+  {
+   "name": "process_name",
+   "ph": "M",
+   "pid": 1,
+   "tid": 0,
+   "ts": 0,
+   "args": {
+    "name": "rank 1"
+   }
+  },
+  {
+   "name": "gradient_loss",
+   "ph": "X",
+   "pid": 1,
+   "tid": 1,
+   "ts": 1000,
+   "dur": 500
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+	if sb.String() != golden {
+		t.Fatalf("trace JSON mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), golden)
+	}
+}
+
+// TestDisabledObsIsNoop proves the disabled path — nil Registry, nil
+// Tracer, nil Observer and their nil instruments — allocates nothing,
+// so instrumented hot paths (GEMM, CG, collectives) pay only pointer
+// checks when observability is off.
+func TestDisabledObsIsNoop(t *testing.T) {
+	var (
+		r  *Registry
+		tr *Tracer
+		o  *Observer
+	)
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(1)
+		h.Observe(42)
+		sp := tr.Begin(3, "phase")
+		sp.End()
+		o.Span(1, "phase").End()
+		_ = o.Registry()
+		_ = c.Value()
+		_ = h.Count()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocated %v times per run, want 0", allocs)
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Fatal("nil tracer returned events")
+	}
+}
+
+// TestEnabledHistogramObserveNoAlloc: even when enabled, Observe and
+// span Begin/End must not allocate per call (End's slice append is
+// amortized; measure Observe alone).
+func TestEnabledHistogramObserveNoAlloc(t *testing.T) {
+	var h Histogram
+	h.Observe(1) // seed min/max outside the measurement
+	allocs := testing.AllocsPerRun(100, func() { h.Observe(77) })
+	if allocs != 0 {
+		t.Fatalf("enabled Observe allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.calls").Add(2)
+	r.Counter("a.calls").Add(1)
+	r.Gauge("g").Set(7)
+	r.Histogram("h").Observe(100)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.calls" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 || s.Histograms[0].Min != 100 {
+		t.Fatalf("hist snap: %+v", s.Histograms)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"a.calls"`, `"value": 2`, `"p50"`, `"buckets"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, sb.String())
+		}
+	}
+	// A nil registry snapshots empty and still serializes.
+	var nilR *Registry
+	if err := nilR.WriteJSON(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter
+// is a valid no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one; nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; nil-safe (returns 0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 instantaneous value (e.g. shard frame
+// count, last epoch wall time). The nil Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v; nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value; nil-safe (returns 0).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with 2^(i-1) < v ≤ 2^i-ish (exact rule: i =
+// bits.Len64(v)), so bucket 0 holds v=0, bucket 1 holds v=1, bucket 11
+// holds 513..1024ns ≈ 1µs, bucket 64 holds the int64 tail.
+const histBuckets = 65
+
+// Histogram is a lock-free power-of-two-bucketed histogram of int64
+// observations (latencies in nanoseconds, byte counts, flop counts).
+// The nil Histogram is a valid no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIdx maps an observation to its bucket.
+func bucketIdx(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper is the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1<<i - 1
+}
+
+// Observe records one value; nil-safe and allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.count.Add(1) == 1 {
+		// First observation seeds min/max; racing observers fix any
+		// interleaving through the CAS loops below.
+		h.min.Store(v)
+		h.max.Store(v)
+	}
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIdx(v)].Add(1)
+}
+
+// Count returns the number of observations; nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations; nil-safe.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observation, 0 when empty; nil-safe.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Min returns the smallest observation, 0 when empty; nil-safe.
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation, 0 when empty; nil-safe.
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 ≤ q ≤ 1) — an over-estimate by at most 2×, which is all a
+// power-of-two histogram can promise; nil-safe.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q*float64(n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return bucketUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// Registry is a name-keyed collection of counters, gauges and
+// histograms, safe for concurrent use. Instruments are created on first
+// reference and live for the registry's lifetime, so hot paths should
+// look them up once and hold the pointer. The nil Registry hands out nil
+// instruments, which are themselves no-ops.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gaugs: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.ctrs[name]
+	if c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gaugs[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gaugs[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram; nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterSnap is one counter in a registry snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a registry snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: Count observations were
+// ≤ Le (and above the previous bucket's bound).
+type BucketSnap struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistSnap is one histogram in a registry snapshot.
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P99     int64        `json:"p99"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON export
+// or report rendering.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state with every instrument
+// list sorted by name; nil-safe (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gaugs {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistSnap{
+			Name: name, Count: h.Count(), Sum: h.Sum(),
+			Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+		}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnap{Le: bucketUpper(i), Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON; nil-safe.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed span: a named interval on a rank's track.
+// Start is relative to the tracer's epoch.
+type Event struct {
+	Name  string
+	Rank  int
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Tracer collects spans from any number of goroutines ("ranks" of the
+// in-process fabric or threads of one real rank) and exports them as
+// Chrome trace-event JSON. The nil Tracer is a valid, disabled tracer:
+// Begin returns a no-op Span without reading the clock or allocating.
+type Tracer struct {
+	now   func() time.Time // clock; replaceable by tests
+	epoch time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns a tracer whose epoch (trace time zero) is now.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now}
+	t.epoch = t.now()
+	return t
+}
+
+// Span is an open interval returned by Begin; call End exactly once.
+// The zero Span (from a nil tracer) is a valid no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	rank  int
+	start time.Time
+}
+
+// Begin opens a span named name on the given rank's track; nil-safe.
+func (t *Tracer) Begin(rank int, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, rank: rank, start: t.now()}
+}
+
+// End closes the span and records it; no-op on a zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.now()
+	ev := Event{
+		Name:  s.name,
+		Rank:  s.rank,
+		Start: s.start.Sub(s.t.epoch),
+		Dur:   end.Sub(s.start),
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded spans sorted by start time then
+// rank; nil-safe (returns nil).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Ranks returns the distinct ranks that recorded at least one span, in
+// ascending order; nil-safe.
+func (t *Tracer) Ranks() []int {
+	seen := map[int]bool{}
+	for _, ev := range t.Events() {
+		seen[ev.Rank] = true
+	}
+	ranks := make([]int, 0, len(seen))
+	for r := range seen {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event, "M" = metadata). Timestamps and durations are in
+// microseconds, the unit the format specifies.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format, the
+// shape chrome://tracing and Perfetto both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes all recorded spans in Chrome trace-event JSON.
+// Each rank becomes one process track (pid = rank), labeled by a
+// process_name metadata event; rank 0 is the master in the trainer's
+// convention. Open the file at chrome://tracing or https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	ranks := map[int]bool{}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, ev := range events {
+		if !ranks[ev.Rank] {
+			ranks[ev.Rank] = true
+			label := fmt.Sprintf("rank %d", ev.Rank)
+			if ev.Rank == 0 {
+				label = "rank 0 (master)"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: ev.Rank,
+				Args: map[string]any{"name": label},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name, Ph: "X", Pid: ev.Rank, Tid: ev.Rank,
+			Ts:  float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur: float64(ev.Dur.Nanoseconds()) / 1e3,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
