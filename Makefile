@@ -1,9 +1,22 @@
-.PHONY: verify test bench bench_obs
+.PHONY: verify lint race test bench bench_obs
 
-# Full gate: compile, vet, and the complete test suite under the race
-# detector (the observability layer is exercised concurrently by design).
+# Full gate: compile, vet, the repo-specific static analyzers, the
+# complete test suite under the race detector (the observability layer is
+# exercised concurrently by design), and the invariant-checked build of
+# the numeric core.
 verify:
-	go build ./... && go vet ./... && go test -race ./...
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core
+
+# Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
+# equality, locks copied by value, allocations in //lint:hotpath kernels,
+# unguarded obs.Observer field access. Zero findings is the shipping bar.
+lint:
+	go vet ./... && go run ./cmd/repolint
+
+# Race-detector pass over the packages with real concurrency: the MPI
+# transport, the master/worker training core, and the metrics registry.
+race:
+	go test -race ./internal/mpi ./internal/core ./internal/obs
 
 test:
 	go test ./...

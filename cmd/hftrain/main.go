@@ -162,7 +162,7 @@ func main() {
 		if ob != nil {
 			report.HFIterTable(os.Stdout, res.HF.Iters)
 			report.MPITable(os.Stdout, res.MPIProfile)
-			report.MetricsTable(os.Stdout, ob.Metrics.Snapshot())
+			report.MetricsTable(os.Stdout, ob.Registry().Snapshot())
 		}
 	case "async":
 		res, err := core.TrainAsyncSGD(prob, core.AsyncSGDConfig{Epochs: *epochs, Seed: *seed}, *ranks, nil)
@@ -187,7 +187,7 @@ func main() {
 	}
 
 	if traceFile != nil {
-		if err := ob.Trace.WriteChromeTrace(traceFile); err != nil {
+		if err := ob.Tracer().WriteChromeTrace(traceFile); err != nil {
 			log.Fatal(err)
 		}
 		if err := traceFile.Close(); err != nil {

@@ -1,0 +1,102 @@
+// Command repolint runs the repo-specific static-analysis suite of
+// internal/lint over the module: unchecked MPI/IO errors, float equality,
+// locks copied by value, allocations in //lint:hotpath kernels, and
+// unguarded obs.Observer field access.
+//
+// Usage:
+//
+//	repolint [-C dir] [-json] [-v]
+//	repolint -list
+//
+// Without flags it lints the module containing the current directory and
+// prints findings as file:line:col text. -json emits the stable
+// machine-readable schema (version 1) consumed by tooling; -list
+// documents the analyzers. Exit status: 0 clean, 1 findings, 2 usage or
+// load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+// jsonReport is the stable -json output schema. Fields are append-only:
+// tooling that snapshots this shape must keep decoding as analyzers are
+// added, so the version only bumps on incompatible changes.
+type jsonReport struct {
+	Version  int            `json:"version"`
+	Count    int            `json:"count"`
+	Findings []lint.Finding `json:"findings"`
+}
+
+func main() {
+	dir := flag.String("C", ".", "lint the module containing this directory")
+	asJSON := flag.Bool("json", false, "emit findings as JSON (stable schema)")
+	verbose := flag.Bool("v", false, "print load warnings and per-package progress to stderr")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(root, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, w := range res.LoadWarnings {
+			fmt.Fprintln(os.Stderr, "repolint: warning:", w)
+		}
+		fmt.Fprintf(os.Stderr, "repolint: analyzed %d packages\n", len(res.Packages))
+	}
+
+	if *asJSON {
+		if err := writeJSON(os.Stdout, buildReport(res.Findings)); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Printf("%s [%s]\n", f, f.Severity)
+		}
+		if n := len(res.Findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", n)
+		}
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildReport wraps findings in the versioned -json schema. Findings is
+// never null, so a clean run still renders `"findings": []` and piping
+// through `jq '.findings[]'` works unconditionally.
+func buildReport(findings []lint.Finding) jsonReport {
+	if findings == nil {
+		findings = []lint.Finding{}
+	}
+	return jsonReport{Version: 1, Count: len(findings), Findings: findings}
+}
+
+// writeJSON renders the report with the fixed two-space indentation the
+// snapshot test locks in.
+func writeJSON(w io.Writer, report jsonReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden -json snapshot")
+
+// TestJSONSchemaSnapshot locks the -json output schema (version 1). It
+// lints the uncheckederr golden fixture and compares the rendered report
+// byte-for-byte against testdata/report.golden.json, so any change to
+// field names, ordering, indentation or position encoding shows up as a
+// reviewable diff. Regenerate deliberately with `go test -update`.
+func TestJSONSchemaSnapshot(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.RunDir(root, filepath.Join(root, "internal/lint/testdata/src/uncheckederr"), lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, buildReport(res.Findings)); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from the golden snapshot (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONCleanRun ensures a finding-free report renders findings as an
+// empty array, never null, with version and count present.
+func TestJSONCleanRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, buildReport(nil)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 1`, `"count": 0`, `"findings": []`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clean report missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -70,6 +70,9 @@ func Gemm64(tA, tB Transpose, alpha float64, a, b *Matrix64, beta float64, c *Ma
 			}
 		}
 	}
+	// BLAS semantics: alpha=0 means "skip the product entirely", an exact
+	// sentinel the caller sets literally, not a computed value.
+	//lint:ignore floateq alpha==0 is the exact BLAS fast-path sentinel
 	if m == 0 || n == 0 || k == 0 || alpha == 0 {
 		return
 	}

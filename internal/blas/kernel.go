@@ -20,6 +20,9 @@ func gemmBlocked(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matri
 	m, k := opDims(a, tA)
 	_, n := opDims(b, tB)
 	scaleC(beta, c)
+	// BLAS semantics: alpha=0 means "skip the product entirely", an exact
+	// sentinel the caller sets literally, not a computed value.
+	//lint:ignore floateq alpha==0 is the exact BLAS fast-path sentinel
 	if m == 0 || n == 0 || k == 0 || alpha == 0 {
 		return
 	}
@@ -81,6 +84,8 @@ func gemmBlocked(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matri
 // in k-major order, zero-padding the final partial panel. The packed
 // layout guarantees stride-one access in the micro-kernel, the portable
 // equivalent of the paper's reformatting of A for the L1P prefetch engine.
+//
+//lint:hotpath
 func packA(a *tensor.Matrix, tA Transpose, i0, p0, mc, kc int, buf []float32) {
 	for ip := 0; ip < mc; ip += mr {
 		rows := min(mr, mc-ip)
@@ -112,6 +117,8 @@ func packA(a *tensor.Matrix, tA Transpose, i0, p0, mc, kc int, buf []float32) {
 
 // packB copies the kc×nc block of op(B) at (p0, j0) into panels of nr
 // columns in k-major order, zero-padding the final partial panel.
+//
+//lint:hotpath
 func packB(b *tensor.Matrix, tB Transpose, p0, j0, kc, nc int, buf []float32) {
 	for jp := 0; jp < nc; jp += nr {
 		cols := min(nr, nc-jp)
@@ -143,6 +150,8 @@ func packB(b *tensor.Matrix, tB Transpose, p0, j0, kc, nc int, buf []float32) {
 
 // macroKernel multiplies the packed mc×kc A block by the packed kc×nc B
 // panel, accumulating alpha times the product into C at (ic, jc).
+//
+//lint:hotpath
 func macroKernel(abuf, bbuf []float32, c *tensor.Matrix, ic, jc, mc, nc, kc int, alpha float32) {
 	for jp := 0; jp < nc; jp += nr {
 		cols := min(nr, nc-jp)
@@ -164,6 +173,8 @@ func macroKernel(abuf, bbuf []float32, c *tensor.Matrix, ic, jc, mc, nc, kc int,
 // as a sequence of rank-1 updates over the packed panels, mirroring the
 // paper's outer-product formulation. All 32 accumulators live in locals so
 // the compiler can keep them in registers.
+//
+//lint:hotpath
 func microKernel8x4(kc int, ap, bp []float32, c []float32, ldc int, alpha float32) {
 	var (
 		c00, c01, c02, c03 float32
@@ -262,6 +273,8 @@ func microKernel8x4(kc int, ap, bp []float32, c []float32, ldc int, alpha float3
 // back only the rows×cols region that exists in C. This is the "matrices
 // with dimensions that do not lend themselves to full SIMDization" case
 // the paper tunes for.
+//
+//lint:hotpath
 func microKernelEdge(kc int, ap, bp []float32, c []float32, ldc, rows, cols int, alpha float32) {
 	var acc [mr * nr]float32
 	for p := 0; p < kc; p++ {

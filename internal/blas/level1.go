@@ -9,6 +9,8 @@ import (
 // arithmetic of the CG loop and the elementwise stages of backpropagation.
 
 // Axpy computes y += alpha*x.
+//
+//lint:hotpath
 func Axpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("blas: Axpy length mismatch %d vs %d", len(x), len(y)))
@@ -20,6 +22,8 @@ func Axpy(alpha float32, x, y []float32) {
 
 // Dot returns xᵀy accumulated in float64; CG's α and β recurrences are
 // sensitive to the accuracy of these reductions.
+//
+//lint:hotpath
 func Dot(x, y []float32) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("blas: Dot length mismatch %d vs %d", len(x), len(y)))
@@ -32,6 +36,8 @@ func Dot(x, y []float32) float64 {
 }
 
 // Scal computes x *= alpha.
+//
+//lint:hotpath
 func Scal(alpha float32, x []float32) {
 	for i := range x {
 		x[i] *= alpha
@@ -60,6 +66,8 @@ func Copy(x, y []float32) {
 
 // Axpby computes y = alpha*x + beta*y, the fused update used by the CG
 // direction recurrence p = r + beta*p.
+//
+//lint:hotpath
 func Axpby(alpha float32, x []float32, beta float32, y []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("blas: Axpby length mismatch %d vs %d", len(x), len(y)))

@@ -1,0 +1,42 @@
+package check
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFirstNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		x    []float32
+		want int
+	}{
+		{"empty", nil, -1},
+		{"finite", []float32{0, -1.5, 3e38}, -1},
+		{"nan", []float32{1, nan, 2}, 1},
+		{"posinf", []float32{inf}, 0},
+		{"neginf", []float32{0, 0, -inf}, 2},
+		{"first of several", []float32{nan, inf}, 0},
+	}
+	for _, c := range cases {
+		if got := firstNonFinite(c.x); got != c.want {
+			t.Errorf("%s: firstNonFinite = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNonFinite(t *testing.T) {
+	for v, want := range map[float64]bool{
+		0:            false,
+		-2.5:         false,
+		math.NaN():   true,
+		math.Inf(1):  true,
+		math.Inf(-1): true,
+	} {
+		if got := nonFinite(v); got != want {
+			t.Errorf("nonFinite(%v) = %v, want %v", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !checkinvariants
+
+package check
+
+// Enabled reports whether invariant checks are compiled in; without the
+// checkinvariants build tag every check below is an empty, inlinable
+// no-op, and `if check.Enabled { ... }` blocks are eliminated entirely.
+const Enabled = false
+
+// Finite is a no-op in this build; see the checkinvariants tag.
+func Finite(name string, x []float32) {}
+
+// FiniteScalar is a no-op in this build; see the checkinvariants tag.
+func FiniteScalar(name string, v float64) {}
+
+// Dims is a no-op in this build; see the checkinvariants tag.
+func Dims(name string, got, want int) {}

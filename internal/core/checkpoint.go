@@ -87,17 +87,17 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := WriteCheckpoint(bw, ck); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close() // best-effort cleanup; the write error is primary
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)

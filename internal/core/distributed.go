@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/corpus"
 	"repro/internal/hf"
 	"repro/internal/mpi"
@@ -85,6 +86,12 @@ func (o *distObjective) Params() tensor.Vector { return o.theta.Clone() }
 // broadcast, the §V-B sync_weights path.
 func (o *distObjective) SetParams(p tensor.Vector) {
 	defer o.ob.Span(0, "sync_weights").End()
+	if check.Enabled {
+		// θ is about to be broadcast to every worker; a non-finite
+		// parameter here corrupts all subsequent shard computations.
+		check.Dims("core.master.params", len(p), o.dim)
+		check.Finite("core.master.params", p)
+	}
 	copy(o.theta, p)
 	o.comm.SetPhase("sync_weights")
 	o.cmd(opSetParams, 0)
@@ -104,6 +111,11 @@ func (o *distObjective) Gradient() tensor.Vector {
 	if stats[1] > 0 {
 		grad.Scale(float32(1 / stats[1]))
 	}
+	if check.Enabled {
+		// The reduced gradient is what Algorithm 1 hands to CG.
+		check.Finite("core.master.gradient", grad)
+		check.FiniteScalar("core.master.train_loss_sum", stats[0])
+	}
 	return grad
 }
 
@@ -120,6 +132,10 @@ func (o *distObjective) GNProduct(v, out tensor.Vector) {
 	defer o.ob.Span(0, "cg_minimize").End()
 	o.comm.SetPhase("cg_minimize")
 	o.cmd(opGNProduct, 0)
+	if check.Enabled {
+		check.Dims("core.master.cg_direction", len(v), o.dim)
+		check.Finite("core.master.cg_direction", v)
+	}
 	o.fail(o.comm.Bcast(0, v))
 	out.Zero()
 	o.fail(o.comm.Reduce(0, mpi.OpSum, out))
@@ -127,6 +143,10 @@ func (o *distObjective) GNProduct(v, out tensor.Vector) {
 	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
 	if stats[0] > 0 {
 		out.Scale(float32(1 / stats[0]))
+	}
+	if check.Enabled {
+		// The reduced Gauss-Newton product feeds the CG α recurrence.
+		check.Finite("core.master.gnproduct", out)
 	}
 }
 
@@ -138,7 +158,7 @@ func (o *distObjective) HeldOutLoss(p tensor.Vector) float64 {
 	o.fail(o.comm.Bcast(0, p))
 	stats := []float64{0, 0}
 	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
-	if stats[1] == 0 {
+	if stats[1] <= 0 {
 		return 0
 	}
 	return stats[0] / stats[1]
@@ -170,7 +190,7 @@ func (o *distObjective) heldOutAccuracy() float64 {
 	o.cmd(opAccuracy, 0)
 	stats := []float64{0, 0}
 	o.fail(o.comm.ReduceF64(0, mpi.OpSum, stats))
-	if stats[1] == 0 {
+	if stats[1] <= 0 {
 		return 0
 	}
 	return stats[0] / stats[1]
@@ -399,12 +419,21 @@ func workerStep(comm *mpi.Comm, eng *engine, ob *obs.Observer, op, arg float32, 
 		if err := comm.Bcast(0, paramBuf); err != nil {
 			return false, err
 		}
+		if check.Enabled {
+			check.Finite("core.worker.params", paramBuf)
+		}
 		eng.setParams(paramBuf)
 	case opGradient:
 		defer ob.Span(rank, "gradient_loss").End()
 		comm.SetPhase("gradient_loss")
 		grad := tensor.NewVector(dim)
 		loss, frames := eng.gradient(grad)
+		if check.Enabled {
+			// Each shard's contribution must be finite before it enters
+			// the deterministic reduction tree.
+			check.Finite("core.worker.gradient", grad)
+			check.FiniteScalar("core.worker.loss", loss)
+		}
 		if err := comm.Reduce(0, mpi.OpSum, grad); err != nil {
 			return false, err
 		}
@@ -424,6 +453,9 @@ func workerStep(comm *mpi.Comm, eng *engine, ob *obs.Observer, op, arg float32, 
 		inner := ob.Span(rank, "worker_curvature_product")
 		frames := eng.gnProduct(v, out)
 		inner.End()
+		if check.Enabled {
+			check.Finite("core.worker.gnproduct", out)
+		}
 		if err := comm.Reduce(0, mpi.OpSum, out); err != nil {
 			return false, err
 		}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/check"
 	"repro/internal/tensor"
 )
 
@@ -103,16 +104,6 @@ func CGMinimize(apply func(v, out tensor.Vector), g tensor.Vector, d0 tensor.Vec
 			}
 		}
 	}
-	// applyPrec computes z = M⁻¹r (z aliases r when unpreconditioned).
-	applyPrec := func(r, z tensor.Vector) {
-		if opts.Precond == nil {
-			copy(z, r)
-			return
-		}
-		for i := range r {
-			z[i] = r[i] / opts.Precond[i]
-		}
-	}
 
 	// Solve A x = b with b = −g; then q(x) = φ(x) = −½ xᵀ(b + r).
 	b := make(tensor.Vector, n)
@@ -127,7 +118,7 @@ func CGMinimize(apply func(v, out tensor.Vector), g tensor.Vector, d0 tensor.Vec
 		r[i] = b[i] - ax[i]
 	}
 	z := make(tensor.Vector, n)
-	applyPrec(r, z)
+	applyPrecond(opts.Precond, r, z)
 	p := z.Clone()
 	ap := make(tensor.Vector, n)
 	rz := r.Dot(z)
@@ -138,27 +129,11 @@ func CGMinimize(apply func(v, out tensor.Vector), g tensor.Vector, d0 tensor.Vec
 	saveIdx := func(i int) bool { return i == nextSave }
 
 	for i := 1; i <= opts.MaxIters; i++ {
-		if rz == 0 {
+		var ok bool
+		rz, ok = cgStep(apply, opts.Precond, x, r, z, p, ap, rz)
+		if !ok {
 			break
 		}
-		for j := range ap {
-			ap[j] = 0
-		}
-		apply(p, ap)
-		pap := p.Dot(ap)
-		if pap <= 0 {
-			// Negative curvature should not occur for G+λI (PSD + λ>0);
-			// guard against numerical breakdown by stopping.
-			break
-		}
-		alpha := rz / pap
-		x.AddScaled(float32(alpha), p)
-		r.AddScaled(float32(-alpha), ap)
-		applyPrec(r, z)
-		rzNew := r.Dot(z)
-		beta := rzNew / rz
-		rz = rzNew
-		blas.Axpby(1, z, float32(beta), p)
 
 		res.Iters = i
 		ph := phi(x, b, r)
@@ -198,6 +173,56 @@ func CGMinimize(apply func(v, out tensor.Vector), g tensor.Vector, d0 tensor.Vec
 	return res
 }
 
+// cgStep performs one conjugate-gradient update in place: one curvature
+// product, the α/β recurrences, and the preconditioned residual refresh.
+// It returns the new rᵀz and ok=false when the recurrence must stop —
+// a zero (or numerically negative) residual norm means convergence, and
+// non-positive curvature pᵀAp means the damped Gauss-Newton product
+// broke down numerically (it is PSD + λI by construction). This is the
+// kernel that runs tens of times per outer HF iteration and drives the
+// two collectives per CG iteration of the paper's Figure 5, so it must
+// stay free of formatting, clock reads and boxing.
+//
+//lint:hotpath
+func cgStep(apply func(v, out tensor.Vector), precond tensor.Vector, x, r, z, p, ap tensor.Vector, rz float64) (rzNew float64, ok bool) {
+	if rz <= 0 {
+		return rz, false
+	}
+	for j := range ap {
+		ap[j] = 0
+	}
+	apply(p, ap)
+	pap := p.Dot(ap)
+	if pap <= 0 {
+		return rz, false
+	}
+	alpha := rz / pap
+	x.AddScaled(float32(alpha), p)
+	r.AddScaled(float32(-alpha), ap)
+	applyPrecond(precond, r, z)
+	rzNew = r.Dot(z)
+	blas.Axpby(1, z, float32(rzNew/rz), p)
+	if check.Enabled {
+		check.Finite("hf.cg.iterate", x)
+		check.Finite("hf.cg.direction", p)
+	}
+	return rzNew, true
+}
+
+// applyPrecond computes z = M⁻¹r for the diagonal preconditioner M
+// (plain copy when unpreconditioned).
+//
+//lint:hotpath
+func applyPrecond(precond, r, z tensor.Vector) {
+	if precond == nil {
+		copy(z, r)
+		return
+	}
+	for i := range r {
+		z[i] = r[i] / precond[i]
+	}
+}
+
 // phi evaluates the quadratic model value φ(x) = −½ xᵀ(b + r) where
 // r = b − A x, the standard cheap expression used by Martens' stopping
 // rule.
@@ -209,12 +234,16 @@ func phi(x, b, r tensor.Vector) float64 {
 	return -0.5 * s
 }
 
+// sameVector reports bit-exact identity of two vectors — the intent here
+// really is "is this the very iterate we just saved", so it compares the
+// float32 bit patterns rather than using float equality (which would also
+// treat -0 == 0 and NaN != NaN).
 func sameVector(a, b tensor.Vector) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
 			return false
 		}
 	}

@@ -3,6 +3,7 @@ package hf
 import (
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/tensor"
 )
 
@@ -156,6 +157,13 @@ func Optimize(obj Objective, cfg Config) Result {
 	consecutiveRejects := 0
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		g := obj.Gradient()
+		if check.Enabled {
+			// The gradient is the first vector handed back from the
+			// workers each iteration; a non-finite entry here would feed
+			// CG a poisoned right-hand side.
+			check.Dims("hf.gradient", len(g), n)
+			check.Finite("hf.gradient", g)
+		}
 		obj.NewCurvatureSample(iter)
 		lam := lambda // capture for the closure
 		apply := func(v, out tensor.Vector) {
@@ -228,6 +236,11 @@ func Optimize(obj Objective, cfg Config) Result {
 		// α geometrically. If no α satisfies it, fall back to the full step,
 		// which the backtracking phase already verified improves the loss.
 		d := cg.Iterates[best]
+		if check.Enabled {
+			// The chosen update direction is about to be broadcast to
+			// every rank via SetParams; it must be finite.
+			check.Finite("hf.step_direction", d)
+		}
 		gd := math.Min(g.Dot(d), 0)
 		armijoOK := func(l, a float64) bool { return l <= lossPrev+cfg.ArmijoC*a*gd }
 		alpha := 1.0

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands outside test
+// files. The HF optimizer's convergence logic (CG residual tests, ρ-based
+// damping updates, line-search accept conditions) must use orderings,
+// tolerances or bit-exact comparisons: a float equality that "works" on
+// one rank count can flip on another because reduction trees reassociate
+// rounding, which is exactly the nondeterminism the paper's
+// bitwise-consistent design eliminates.
+//
+// Exemptions: comparisons where both operands are compile-time constants,
+// and self-comparison (x != x), the portable NaN test. Intentional exact
+// sentinels (e.g. the BLAS alpha==0 fast path) must carry a
+// //lint:ignore floateq directive with a reason.
+type FloatEq struct{}
+
+// Name implements Analyzer.
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc implements Analyzer.
+func (FloatEq) Doc() string {
+	return "== or != on float32/float64 operands; use an ordering, a tolerance, " +
+		"math.Float32bits for bit-exact identity, or //lint:ignore with a reason"
+}
+
+// Run implements Analyzer.
+func (f FloatEq) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !p.isFloat(bin.X) && !p.isFloat(bin.Y) {
+				return true
+			}
+			// Two constants fold at compile time; nothing can reassociate.
+			if p.isConst(bin.X) && p.isConst(bin.Y) {
+				return true
+			}
+			// x != x is the NaN idiom; x == x its negation.
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true
+			}
+			out = append(out, p.finding(f, SevWarn, bin,
+				"floating-point %s comparison (%s %s %s); equality is not stable across reduction orders",
+				bin.Op, types.ExprString(bin.X), bin.Op, types.ExprString(bin.Y)))
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether e has floating-point type (including untyped
+// float constants).
+func (p *Package) isFloat(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e is a compile-time constant.
+func (p *Package) isConst(e ast.Expr) bool {
+	return p.Info.Types[e].Value != nil
+}

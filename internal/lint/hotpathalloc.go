@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc audits functions annotated with //lint:hotpath — the BLAS
+// micro-kernels and the CG inner step, the code the paper hand-tunes for
+// the BG/Q FPU — for three cheap-looking constructs that are anything but
+// on a hot path: fmt formatting (reflection plus allocation per call),
+// time.Now (a clock read per invocation, the overhead PR 1's disabled-obs
+// benchmark exists to exclude), and implicit interface boxing of
+// arguments (one heap allocation per boxed value).
+//
+// Calls inside a panic(...) argument are exempt: a panicking kernel is
+// off the hot path by definition, so guard-clause messages may format.
+type HotPathAlloc struct{}
+
+// Name implements Analyzer.
+func (HotPathAlloc) Name() string { return "hotpathalloc" }
+
+// Doc implements Analyzer.
+func (HotPathAlloc) Doc() string {
+	return "fmt call, time.Now or interface boxing inside a //lint:hotpath function; " +
+		"these allocate or stall on every kernel invocation"
+}
+
+// Run implements Analyzer.
+func (h HotPathAlloc) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.isBuiltin(call, "panic") {
+					return false // guard clauses may format their message
+				}
+				out = append(out, h.checkCall(p, fn, call)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkCall reports hot-path violations of a single call expression.
+func (h HotPathAlloc) checkCall(p *Package, fn *ast.FuncDecl, call *ast.CallExpr) []Finding {
+	var out []Finding
+	if callee := p.calleeFunc(call); callee != nil {
+		switch pp := pkgPath(callee); {
+		case pp == "fmt":
+			out = append(out, p.finding(h, SevWarn, call,
+				"fmt.%s in hot path %s allocates and reflects on every call", callee.Name(), fn.Name.Name))
+		case pp == "time" && callee.Name() == "Now":
+			out = append(out, p.finding(h, SevWarn, call,
+				"time.Now in hot path %s reads the clock on every call; hoist it out of the kernel", fn.Name.Name))
+		}
+	}
+	// Implicit interface boxing: a concrete argument passed where the
+	// callee expects an interface heap-allocates the box.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return out // builtin or conversion
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue // interface-to-interface is a pointer copy, not a box
+		}
+		out = append(out, p.finding(h, SevWarn, arg,
+			"argument %s boxes %s into %s in hot path %s (one allocation per call)",
+			types.ExprString(arg), at, pt, fn.Name.Name))
+	}
+	return out
+}
+
+// paramType returns the static parameter type matched by argument i,
+// unrolling variadic parameters; nil when i is out of range or the call
+// forwards a slice with ... (no boxing happens then).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if sig.Variadic() {
+		if i < n-1 {
+			return params.At(i).Type()
+		}
+		if ellipsis {
+			return nil // s... forwards the slice as-is
+		}
+		slice, ok := params.At(n - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return slice.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// isBuiltin reports whether call invokes the named builtin function.
+func (p *Package) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

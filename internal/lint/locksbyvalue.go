@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LocksByValue flags copies of values containing sync or sync/atomic
+// state: sync.Mutex, sync.WaitGroup, sync.Once, atomic.Int64 and friends,
+// directly or embedded in structs and arrays. A copied mutex guards
+// nothing, a copied WaitGroup deadlocks its waiters, and a copied atomic
+// counter silently forks — the in-process MPI fabric and the obs registry
+// both depend on these being shared, not duplicated.
+//
+// Reported copy sites: value receivers on methods of lock-holding types,
+// plain assignments, range-clause element copies, by-value function
+// arguments, and by-value returns. Composite literals and call results
+// are not copies of a shared value and are allowed.
+type LocksByValue struct{}
+
+// Name implements Analyzer.
+func (LocksByValue) Name() string { return "locksbyvalue" }
+
+// Doc implements Analyzer.
+func (LocksByValue) Doc() string {
+	return "a sync.Mutex/WaitGroup/Once or sync/atomic value is copied; " +
+		"copies fork the lock or counter state instead of sharing it"
+}
+
+// Run implements Analyzer.
+func (l LocksByValue) Run(p *Package) []Finding {
+	var out []Finding
+	seen := map[types.Type]bool{}
+	flag := func(node ast.Node, format string, args ...any) {
+		out = append(out, p.finding(l, SevError, node, format, args...))
+	}
+	// copies reports a copy of e when e's type holds a lock and e reads
+	// an existing value (rather than constructing a fresh one).
+	copies := func(e ast.Expr) (types.Type, bool) {
+		switch unparen(e).(type) {
+		case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+			return nil, false
+		}
+		t := p.Info.TypeOf(e)
+		if t == nil || !containsLock(t, seen) {
+			return nil, false
+		}
+		return t, true
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv == nil || len(n.Recv.List) == 0 {
+					return true
+				}
+				rt := p.Info.TypeOf(n.Recv.List[0].Type)
+				if rt == nil {
+					return true
+				}
+				if _, isPtr := rt.(*types.Pointer); !isPtr && containsLock(rt, seen) {
+					flag(n.Recv.List[0].Type, "method %s has a value receiver of type %s, which contains a lock; use a pointer receiver", n.Name.Name, rt)
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if t, bad := copies(rhs); bad {
+						flag(rhs, "assignment copies lock-holding value of type %s", t)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if t, bad := copies(v); bad {
+						flag(v, "variable declaration copies lock-holding value of type %s", t)
+					}
+				}
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if e == nil {
+						continue
+					}
+					if t := p.Info.TypeOf(e); t != nil && containsLock(t, seen) {
+						flag(e, "range clause copies lock-holding value of type %s; range over indices or pointers instead", t)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if t, bad := copies(arg); bad {
+						flag(arg, "call passes lock-holding value of type %s by value", t)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if t, bad := copies(r); bad {
+						flag(r, "return copies lock-holding value of type %s", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// containsLock reports whether t is, or transitively contains (through
+// struct fields and array elements), a struct type declared in sync or
+// sync/atomic. seen memoizes results and breaks recursive-type cycles.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if v, ok := seen[t]; ok {
+		return v
+	}
+	seen[t] = false // cycle guard for recursive types
+	res := false
+	switch u := t.(type) {
+	case *types.Named:
+		if pp := pkgPath(u.Obj()); pp == "sync" || pp == "sync/atomic" {
+			if _, isStruct := u.Underlying().(*types.Struct); isStruct {
+				res = true
+			}
+		}
+		if !res {
+			res = containsLock(u.Underlying(), seen)
+		}
+	case *types.Alias:
+		res = containsLock(types.Unalias(u), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				res = true
+				break
+			}
+		}
+	case *types.Array:
+		res = containsLock(u.Elem(), seen)
+	}
+	seen[t] = res
+	return res
+}

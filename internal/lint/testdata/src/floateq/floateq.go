@@ -1,0 +1,30 @@
+// Package floateq is a lint fixture seeding float ==/!= comparisons.
+package floateq
+
+func compare(a float32, b float64, n int) bool {
+	if a == 0 { // want: float equality
+		return true
+	}
+	if b != 1.5 { // want: float inequality
+		return false
+	}
+	if n == 0 { // integers compare exactly: not flagged
+		return true
+	}
+	if b != b { // NaN self-test idiom: not flagged
+		return false
+	}
+	//lint:ignore floateq fixture-sanctioned exact sentinel
+	if a == 1 { // suppressed by the directive above
+		return true
+	}
+	return threshold(b) == threshold(b) // identical operands: not flagged
+}
+
+const eps32, eps64 = 1.19e-07, 2.22e-16
+
+func constants() bool {
+	return eps32 == eps64 // both constant-folded: not flagged
+}
+
+func threshold(v float64) float64 { return v * 0.5 }

@@ -1,0 +1,47 @@
+// Package hotpathalloc is a lint fixture seeding allocation and
+// formatting hazards inside a //lint:hotpath-annotated kernel.
+package hotpathalloc
+
+import (
+	"fmt"
+	"time"
+)
+
+// hot is the annotated inner kernel; its body must stay free of fmt,
+// time.Now and interface boxing.
+//
+//lint:hotpath
+func hot(x []float32) float64 {
+	if len(x) == 0 {
+		// Guard-clause panics may format: the process is dying anyway.
+		panic(fmt.Sprintf("hot: empty input"))
+	}
+	label := fmt.Sprint(len(x)) // want: fmt call on hot path
+	_ = label
+	start := time.Now() // want: time.Now on hot path
+	_ = start
+	box(len(x)) // want: int boxed into interface
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+// cold is unannotated: the same hazards are fine here.
+func cold(x []float32) string {
+	box(time.Now())
+	return fmt.Sprint(len(x))
+}
+
+func box(v any) {}
+
+// forward is annotated but only re-forwards an existing interface slice,
+// which boxes nothing new.
+//
+//lint:hotpath
+func forward(args []any) {
+	box2(args...)
+}
+
+func box2(vs ...any) {}

@@ -1,0 +1,50 @@
+// Package locksbyvalue is a lint fixture seeding by-value copies of
+// structs that embed sync primitives.
+package locksbyvalue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type counted struct {
+	hits atomic.Int64
+}
+
+func (g guarded) valueReceiver() int { // want: value receiver copies mu
+	return g.n
+}
+
+func (g *guarded) pointerReceiver() int { return g.n }
+
+func sites(list []guarded, c *counted) {
+	g := list[0] // want: assignment copies mu
+	sink(&g)
+	for _, it := range list { // want: range value copies mu
+		sink(&it)
+	}
+	consume(list[1]) // want: argument copies mu
+	record(*c)       // want: argument copies hits
+}
+
+func pick(list []guarded) guarded {
+	return list[0] // want: return copies mu
+}
+
+// Construction sites create the value in place rather than copying an
+// existing lock, so none of these are flagged.
+func fresh() *guarded {
+	g := guarded{}
+	var h guarded
+	sink(&h)
+	return &g
+}
+
+func sink(*guarded)   {}
+func consume(guarded) {}
+func record(counted)  {}

@@ -1,0 +1,54 @@
+// Package obsnilguard is a lint fixture seeding unguarded Metrics/Trace
+// field access on a possibly-nil *obs.Observer.
+package obsnilguard
+
+import "repro/internal/obs"
+
+func unguarded(ob *obs.Observer) {
+	ob.Metrics.Counter("steps").Inc() // want: unguarded Metrics access
+	_ = ob.Trace                      // want: unguarded Trace access
+}
+
+func guardedInline(ob *obs.Observer) {
+	if ob != nil {
+		ob.Metrics.Counter("steps").Inc() // guarded: not flagged
+	}
+	if ob != nil && ob.Metrics != nil { // && chain still guards: not flagged
+		ob.Metrics.Counter("steps").Inc()
+	}
+}
+
+func disabled(ob *obs.Observer) bool {
+	return ob == nil || ob.Metrics == nil // short-circuit ||: not flagged
+}
+
+func guardedEarlyExit(ob *obs.Observer) {
+	if ob == nil {
+		return
+	}
+	ob.Trace.Begin(0, "cg").End() // early exit above: not flagged
+}
+
+func guardedElse(ob *obs.Observer) {
+	if ob == nil {
+		noop()
+	} else {
+		_ = ob.Metrics // else branch of == nil: not flagged
+	}
+}
+
+// accessor uses the sanctioned nil-safe surface.
+func accessor(ob *obs.Observer) {
+	ob.Registry().Counter("steps").Inc()
+	ob.Span(0, "cg").End()
+	if t := ob.Tracer(); t != nil {
+		t.Begin(0, "cg").End()
+	}
+}
+
+// byValue cannot be nil, so field access is safe.
+func byValue(ob obs.Observer) {
+	_ = ob.Metrics
+}
+
+func noop() {}

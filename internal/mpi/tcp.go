@@ -125,13 +125,13 @@ func connectTCPWithListener(rank int, addrs []string, ln net.Listener) (Transpor
 	for peer := rank + 1; peer < size; peer++ {
 		conn, err := net.Dial("tcp", addrs[peer])
 		if err != nil {
-			t.Close()
+			_ = t.Close() // best-effort teardown; the dial error is primary
 			return nil, fmt.Errorf("mpi: rank %d dial rank %d: %w", rank, peer, err)
 		}
 		var hdr [4]byte
 		binary.LittleEndian.PutUint32(hdr[:], uint32(int32(rank)))
 		if _, err := conn.Write(hdr[:]); err != nil {
-			t.Close()
+			_ = t.Close()
 			return nil, fmt.Errorf("mpi: rank %d handshake to %d: %w", rank, peer, err)
 		}
 		t.conns[peer] = &tcpConn{c: conn}
@@ -139,11 +139,11 @@ func connectTCPWithListener(rank int, addrs []string, ln net.Listener) (Transpor
 	for i := 0; i < rank; i++ {
 		a := <-acceptCh
 		if a.err != nil {
-			t.Close()
+			_ = t.Close()
 			return nil, a.err
 		}
 		if t.conns[a.peer] != nil {
-			t.Close()
+			_ = t.Close()
 			return nil, fmt.Errorf("mpi: duplicate connection from rank %d", a.peer)
 		}
 		t.conns[a.peer] = &tcpConn{c: a.conn}

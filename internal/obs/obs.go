@@ -41,3 +41,14 @@ func (o *Observer) Registry() *Registry {
 	}
 	return o.Metrics
 }
+
+// Tracer returns the span tracer, or nil when disabled; nil-safe. Code
+// outside this package must reach the tracer through this accessor (or
+// Span) rather than the Trace field — the obsnilguard analyzer enforces
+// it — so a nil Observer stays a valid, disabled observer.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}

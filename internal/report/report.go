@@ -83,7 +83,7 @@ func CycleBreakdown(w io.Writer, counts workload.AlgoCounts, master bool, title 
 		fmt.Fprintf(w, "%-26s %14s %14s %14s\n", "function", "committed", "AXU/FXU_stall", "IU_empty")
 		for _, name := range sortedPhases(rep) {
 			c := rep[name].Cycles
-			if c.Total() == 0 {
+			if c.Total() <= 0 {
 				continue
 			}
 			fmt.Fprintf(w, "%-26s %14.3e %14.3e %14.3e\n", name, c.Committed, c.AXUStall, c.IUEmpty)
@@ -110,7 +110,7 @@ func MPIBreakdown(w io.Writer, counts workload.AlgoCounts, master bool, title st
 		fmt.Fprintf(w, "%-26s %14s %14s\n", "function", "collective(s)", "p2p(s)")
 		for _, name := range sortedPhases(rep) {
 			p := rep[name]
-			if p.CollSec == 0 && p.P2PSec == 0 {
+			if p.CollSec <= 0 && p.P2PSec <= 0 {
 				continue
 			}
 			fmt.Fprintf(w, "%-26s %14.2f %14.2f\n", name, p.CollSec, p.P2PSec)
@@ -188,13 +188,13 @@ func Scaling(w io.Writer, counts workload.AlgoCounts) error {
 	fmt.Fprintf(w, "%-8s %12s %9s %8s %6s\n", "ranks", "time(s)", "speedup", "ideal", "eff")
 	m := bgq.BlueGeneQ()
 	var base float64
-	for _, ranks := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
+	for i, ranks := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
 		cfg := bgq.Config{Ranks: ranks, RanksPerNode: 4, ThreadsPerRank: 16}
 		r, err := workload.Simulate(m, cfg, counts, nil)
 		if err != nil {
 			return err
 		}
-		if base == 0 {
+		if i == 0 {
 			base = r.TotalSec
 		}
 		sp := base / r.TotalSec

@@ -26,8 +26,11 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+	if h[i].time < h[j].time {
+		return true
+	}
+	if h[j].time < h[i].time {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }
