@@ -1,22 +1,38 @@
-.PHONY: verify lint race test bench bench_obs
+.PHONY: verify lint commcheck race race-mpi test bench bench_obs
 
-# Full gate: compile, vet, the repo-specific static analyzers, the
-# complete test suite under the race detector (the observability layer is
-# exercised concurrently by design), and the invariant-checked build of
-# the numeric core.
+# Full gate: compile, vet, the repo-specific static analyzers (including
+# the collective-protocol checker), the complete test suite under the
+# race detector, the same suites re-run with runtime protocol conformance
+# checking on every collective (-tags commcheck), and the
+# invariant-checked build of the numeric core.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
-# unguarded obs.Observer field access. Zero findings is the shipping bar.
+# unguarded obs.Observer field access, and master/worker collective-
+# protocol conformance. Zero findings is the shipping bar.
 lint:
 	go vet ./... && go run ./cmd/repolint
+
+# Static collective-protocol verification only: checks every worker
+# dispatch arm against its master sender for kind/root/dtype/length and
+# sequence agreement, flags collectives under rank-dependent branches and
+# orphaned opcode arms. See DESIGN.md, "Collective protocol".
+commcheck:
+	go run ./cmd/repolint -only commcheck
 
 # Race-detector pass over the packages with real concurrency: the MPI
 # transport, the master/worker training core, and the metrics registry.
 race:
 	go test -race ./internal/mpi ./internal/core ./internal/obs
+
+# Race detector combined with runtime protocol checking: every collective
+# in the MPI and training suites carries a conformance header and a
+# watchdog deadline, so desynchronization surfaces as a diagnosis instead
+# of a hang.
+race-mpi:
+	go test -race -tags commcheck ./internal/mpi ./internal/core
 
 test:
 	go test ./...

@@ -11,7 +11,9 @@
 //
 // -trace writes a Chrome trace-event JSON file of the run's per-rank
 // phase spans (open in chrome://tracing or ui.perfetto.dev); -metrics
-// appends one JSON line per HF iteration.
+// appends one JSON line per HF iteration; -commcheck verifies cross-rank
+// collective-protocol conformance in dist mode, failing fast with both
+// call sites on divergence instead of deadlocking or corrupting state.
 package main
 
 import (
@@ -48,6 +50,8 @@ func main() {
 	load := flag.String("load", "", "resume from a model checkpoint")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of per-rank phase spans to this path")
 	metricsOut := flag.String("metrics", "", "write per-HF-iteration telemetry as JSONL to this path")
+	commcheck := flag.Bool("commcheck", false, "dist mode: verify cross-rank collective-protocol conformance on every collective (fails fast on divergence)")
+	commcheckDeadline := flag.Duration("commcheck-deadline", 0, "with -commcheck: per-collective watchdog deadline (0 = default, negative disables)")
 	flag.Parse()
 
 	var ob *obs.Observer
@@ -146,11 +150,19 @@ func main() {
 	case "dist":
 		var res *core.MasterResult
 		var err error
+		var chk *mpi.CheckConfig
+		if *commcheck {
+			chk = &mpi.CheckConfig{Deadline: *commcheckDeadline, Obs: ob}
+		}
 		switch *transport {
 		case "inproc":
-			res, err = core.TrainDistributedHFObs(prob, hfCfg, *ranks, nil, ob)
+			if chk != nil {
+				res, err = core.TrainDistributedHFChecked(prob, hfCfg, *ranks, nil, ob, *chk)
+			} else {
+				res, err = core.TrainDistributedHFObs(prob, hfCfg, *ranks, nil, ob)
+			}
 		case "tcp":
-			res, err = trainOverTCP(prob, hfCfg, *ranks, ob)
+			res, err = trainOverTCP(prob, hfCfg, *ranks, ob, chk)
 		default:
 			log.Fatalf("unknown transport %q (want inproc, tcp)", *transport)
 		}
@@ -199,21 +211,28 @@ func main() {
 
 // trainOverTCP runs the master and workers over a localhost TCP fabric —
 // the same code path a true multi-process deployment uses, exercised inside
-// one process for convenience.
-func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int, ob *obs.Observer) (*core.MasterResult, error) {
+// one process for convenience. A non-nil chk wraps every rank's comm in
+// the collective-protocol checker.
+func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int, ob *obs.Observer, chk *mpi.CheckConfig) (*core.MasterResult, error) {
 	transports, err := mpi.ConnectTCPLocal(ranks)
 	if err != nil {
 		return nil, err
 	}
+	newComm := func(r int) *mpi.Comm {
+		if chk != nil {
+			return mpi.NewCheckedComm(transports[r], *chk).Comm
+		}
+		return mpi.NewComm(transports[r])
+	}
 	workerErrs := make(chan error, ranks-1)
 	for r := 1; r < ranks; r++ {
 		go func(r int) {
-			comm := mpi.NewComm(transports[r])
+			comm := newComm(r)
 			defer comm.Close()
 			workerErrs <- core.RunWorkerObs(comm, ob)
 		}(r)
 	}
-	master := mpi.NewComm(transports[0])
+	master := newComm(0)
 	defer master.Close()
 	res, err := core.RunMasterObs(master, prob, cfg, nil, ob)
 	for r := 1; r < ranks; r++ {

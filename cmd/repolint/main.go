@@ -1,18 +1,20 @@
 // Command repolint runs the repo-specific static-analysis suite of
 // internal/lint over the module: unchecked MPI/IO errors, float equality,
-// locks copied by value, allocations in //lint:hotpath kernels, and
-// unguarded obs.Observer field access.
+// locks copied by value, allocations in //lint:hotpath kernels,
+// unguarded obs.Observer field access, and collective-protocol
+// conformance (commcheck).
 //
 // Usage:
 //
-//	repolint [-C dir] [-json] [-v]
+//	repolint [-C dir] [-json] [-v] [-only name,...]
 //	repolint -list
 //
 // Without flags it lints the module containing the current directory and
 // prints findings as file:line:col text. -json emits the stable
-// machine-readable schema (version 1) consumed by tooling; -list
-// documents the analyzers. Exit status: 0 clean, 1 findings, 2 usage or
-// load failure.
+// machine-readable schema (version 1) consumed by tooling; -only
+// restricts the run to the named analyzers (e.g. `-only commcheck`, the
+// `make commcheck` target); -list documents the analyzers. Exit status:
+// 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -39,6 +42,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit findings as JSON (stable schema)")
 	verbose := flag.Bool("v", false, "print load warnings and per-package progress to stderr")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
 	if *list {
@@ -48,12 +52,18 @@ func main() {
 		return
 	}
 
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+
 	root, err := lint.FindModuleRoot(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
 	}
-	res, err := lint.Run(root, lint.Analyzers())
+	res, err := lint.Run(root, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
@@ -81,6 +91,39 @@ func main() {
 	if len(res.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves a -only list against the suite, preserving
+// the suite's stable order; an empty list selects everything.
+func selectAnalyzers(only string) ([]lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var sel []lint.Analyzer
+	for _, a := range all {
+		if want[a.Name()] {
+			sel = append(sel, a)
+			delete(want, a.Name())
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		return nil, fmt.Errorf("unknown analyzer(s) %s (see repolint -list)", strings.Join(unknown, ", "))
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return sel, nil
 }
 
 // buildReport wraps findings in the versioned -json schema. Findings is

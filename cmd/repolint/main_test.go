@@ -48,6 +48,26 @@ func TestJSONSchemaSnapshot(t *testing.T) {
 	}
 }
 
+// TestSelectAnalyzers pins the -only flag: names resolve in suite
+// order, unknown names fail, empty selects everything.
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(lint.Analyzers()) {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v; want full suite", len(all), err)
+	}
+	sel, err := selectAnalyzers("commcheck")
+	if err != nil || len(sel) != 1 || sel[0].Name() != "commcheck" {
+		t.Fatalf("selectAnalyzers(commcheck) = %v, err %v", sel, err)
+	}
+	sel, err = selectAnalyzers("obsnilguard, commcheck")
+	if err != nil || len(sel) != 2 {
+		t.Fatalf("selectAnalyzers(two) = %v, err %v", sel, err)
+	}
+	if _, err = selectAnalyzers("nosuchanalyzer"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
 // TestJSONCleanRun ensures a finding-free report renders findings as an
 // empty array, never null, with version and count present.
 func TestJSONCleanRun(t *testing.T) {

@@ -512,19 +512,38 @@ func TrainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partiti
 // and one registry aggregates all ranks' metrics. A nil observer makes
 // it identical to TrainDistributedHF.
 func TrainDistributedHFObs(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
+	return trainDistributedHF(p, cfg, ranks, part, ob, nil)
+}
+
+// TrainDistributedHFChecked is TrainDistributedHFObs with the cross-rank
+// collective-protocol checker enabled on every rank's comm: each
+// collective carries a conformance header, divergence fails fast with
+// both call sites, and the watchdog deadline in chk turns a silent
+// deadlock into a diagnosis (see DESIGN.md, "Collective protocol").
+func TrainDistributedHFChecked(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk mpi.CheckConfig) (*MasterResult, error) {
+	return trainDistributedHF(p, cfg, ranks, part, ob, &chk)
+}
+
+func trainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk *mpi.CheckConfig) (*MasterResult, error) {
 	if ranks < 2 {
 		return nil, fmt.Errorf("core: need ≥2 ranks, got %d", ranks)
 	}
 	fabric := mpi.NewInprocFabric(ranks)
 	defer fabric.Close()
 
+	newComm := func(r int) *mpi.Comm {
+		if chk != nil {
+			return mpi.NewCheckedComm(fabric.Transport(r), *chk).Comm
+		}
+		return mpi.NewComm(fabric.Transport(r))
+	}
 	workerErrs := make(chan error, ranks-1)
 	for r := 1; r < ranks; r++ {
 		go func(r int) {
-			workerErrs <- RunWorkerObs(mpi.NewComm(fabric.Transport(r)), ob)
+			workerErrs <- RunWorkerObs(newComm(r), ob)
 		}(r)
 	}
-	res, err := RunMasterObs(mpi.NewComm(fabric.Transport(0)), p, cfg, part, ob)
+	res, err := RunMasterObs(newComm(0), p, cfg, part, ob)
 	if err != nil {
 		fabric.Close() // unblock any workers still waiting
 	}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/tensor"
+)
+
+// rogueWorker impersonates a worker that crashes mid-iteration: it
+// receives its shard, serves commands until the first gradient request,
+// then closes its endpoint and exits without contributing to the
+// reduction — the failure mode that classically leaves the master
+// blocked in Reduce forever.
+func rogueWorker(t *testing.T, comm *mpi.Comm) {
+	t.Helper()
+	eng, err := recvShard(comm)
+	if err != nil {
+		t.Errorf("rogue worker shard: %v", err)
+		return
+	}
+	dim := eng.net.NumParams()
+	cmd := make([]float32, 2)
+	paramBuf := make(tensor.Vector, dim)
+	for {
+		if err := comm.Bcast(0, cmd); err != nil {
+			return
+		}
+		switch cmd[0] {
+		case opSetParams:
+			if err := comm.Bcast(0, paramBuf); err != nil {
+				return
+			}
+		case opSample:
+			// No communication.
+		default:
+			// First real work request (the gradient): die instead of
+			// entering the Reduce the master is counting on.
+			comm.Close()
+			return
+		}
+	}
+}
+
+// TestMasterUnblocksOnWorkerDeath runs a 3-rank job where one worker
+// dies before its gradient Reduce. Under CheckedComm's watchdog the
+// master must return an error within the deadline — naming the stuck
+// collective — instead of hanging for the life of the process.
+func TestMasterUnblocksOnWorkerDeath(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	cfg := fastHF()
+	chk := mpi.CheckConfig{Deadline: 500 * time.Millisecond, History: 16}
+
+	fabric := mpi.NewInprocFabric(3)
+	defer fabric.Close()
+
+	workersDone := make(chan struct{})
+	go func() {
+		defer close(workersDone)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// The healthy worker: after the master aborts, its own
+			// watchdog unblocks its command wait.
+			_ = RunWorker(mpi.NewCheckedComm(fabric.Transport(1), chk).Comm)
+		}()
+		rogueWorker(t, mpi.NewCheckedComm(fabric.Transport(2), chk).Comm)
+		<-done
+	}()
+
+	masterDone := make(chan error, 1)
+	go func() {
+		_, err := RunMasterObs(mpi.NewCheckedComm(fabric.Transport(0), chk).Comm, p, cfg, nil, nil)
+		masterDone <- err
+	}()
+
+	select {
+	case err := <-masterDone:
+		if err == nil {
+			t.Fatal("master returned nil error despite dead worker")
+		}
+		var werr *mpi.WatchdogError
+		var perr *mpi.ProtocolError
+		if !errors.As(err, &werr) && !errors.As(err, &perr) {
+			t.Fatalf("master err = %v, want commcheck watchdog or protocol error", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("master still blocked 20s after worker death")
+	}
+
+	fabric.Close()
+	select {
+	case <-workersDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("workers still blocked after fabric close")
+	}
+}

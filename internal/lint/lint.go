@@ -83,6 +83,7 @@ func Analyzers() []Analyzer {
 		LocksByValue{},
 		HotPathAlloc{},
 		ObsNilGuard{},
+		CommCheck{},
 	}
 }
 

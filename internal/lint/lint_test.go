@@ -17,6 +17,7 @@ var fixtureDirs = []string{
 	"locksbyvalue",
 	"hotpathalloc",
 	"obsnilguard",
+	"commcheck",
 	"clean",
 }
 
@@ -83,8 +84,20 @@ func TestFixtureFindings(t *testing.T) {
 		"obsnilguard.go": {
 			"8:2 obsnilguard error",
 			"9:6 obsnilguard error",
+			"60:2 obsnilguard error",
 		},
-		"clean.go": nil,
+		"commcheck.go": {
+			"90:14 commcheck error",  // kind mismatch (reduce vs bcast)
+			"94:14 commcheck error",  // root mismatch (1 vs 0)
+			"98:14 commcheck error",  // dtype mismatch (f64 vs f32)
+			"102:14 commcheck error", // length mismatch (2 vs 3)
+			"105:3 commcheck error",  // sequence-length mismatch (2 collectives vs 1)
+			"112:3 commcheck error",  // orphan arm (no master sender)
+			"125:10 commcheck warn",  // collective under Rank() conditional
+			"129:13 commcheck warn",  // collective under rank-derived conditional
+		},
+		"clean.go":      nil,
+		"clean_comm.go": nil,
 	}
 
 	got := map[string][]string{}

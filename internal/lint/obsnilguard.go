@@ -7,8 +7,8 @@ import (
 )
 
 // ObsNilGuard enforces the observability layer's nil-safety contract at
-// its boundary: the Metrics and Trace fields of *obs.Observer must not
-// be accessed directly outside package obs, because a nil *Observer — the
+// its boundary: the Metrics, Trace and Events fields of *obs.Observer
+// must not be accessed directly outside package obs, because a nil *Observer — the
 // documented "observability disabled" state threaded through every
 // training entry point — panics on field selection. The established idiom
 // is the nil-safe accessor surface: ob.Registry(), ob.Tracer(), ob.Span().
@@ -28,8 +28,8 @@ func (ObsNilGuard) Name() string { return "obsnilguard" }
 
 // Doc implements Analyzer.
 func (ObsNilGuard) Doc() string {
-	return "unguarded Metrics/Trace field access on a possibly-nil *obs.Observer; " +
-		"use the nil-safe Registry()/Tracer()/Span() accessors or guard with `if ob != nil`"
+	return "unguarded Metrics/Trace/Events field access on a possibly-nil *obs.Observer; " +
+		"use the nil-safe Registry()/Tracer()/Span()/EventLog() accessors or guard with `if ob != nil`"
 }
 
 // Run implements Analyzer.
@@ -43,7 +43,7 @@ func (o ObsNilGuard) Run(p *Package) []Finding {
 		if !ok {
 			return true
 		}
-		if sel.Sel.Name != "Metrics" && sel.Sel.Name != "Trace" {
+		if sel.Sel.Name != "Metrics" && sel.Sel.Name != "Trace" && sel.Sel.Name != "Events" {
 			return true
 		}
 		s := p.Info.Selections[sel]
@@ -62,7 +62,7 @@ func (o ObsNilGuard) Run(p *Package) []Finding {
 		}
 		out = append(out, p.finding(o, SevError, sel,
 			"%s.%s accessed without a nil guard; a nil *obs.Observer (observability disabled) panics here — use %s.%s() instead",
-			recv, sel.Sel.Name, recv, map[string]string{"Metrics": "Registry", "Trace": "Tracer"}[sel.Sel.Name]))
+			recv, sel.Sel.Name, recv, map[string]string{"Metrics": "Registry", "Trace": "Tracer", "Events": "EventLog"}[sel.Sel.Name]))
 		return true
 	})
 	return out

@@ -1,0 +1,48 @@
+// clean_comm.go exercises the collective-protocol shapes commcheck
+// inspects in their sanctioned forms: a matched master/worker opcode
+// protocol and a rank guard that only gates an early exit, never a
+// collective. It must stay silent.
+package clean
+
+import "repro/internal/mpi"
+
+const (
+	cmdSync float32 = 1 + iota
+	cmdHalt
+)
+
+// protoMaster drives the worker loop below with a conforming sequence:
+// each opcode broadcast is followed by exactly the collectives the
+// matching arm executes.
+func protoMaster(c *mpi.Comm, params []float32) error {
+	if err := c.Bcast(0, []float32{cmdSync, 0}); err != nil {
+		return err
+	}
+	if err := c.Bcast(0, params); err != nil {
+		return err
+	}
+	return c.Bcast(0, []float32{cmdHalt, 0})
+}
+
+// protoWorker mirrors protoMaster arm by arm. The rank check guards an
+// early exit with no collective inside the branch, the sanctioned form.
+func protoWorker(c *mpi.Comm, params []float32) error {
+	rank := c.Rank()
+	if rank == 0 {
+		return nil
+	}
+	cmd := make([]float32, 2)
+	for {
+		if err := c.Bcast(0, cmd); err != nil {
+			return err
+		}
+		switch cmd[0] {
+		case cmdSync:
+			if err := c.Bcast(0, params); err != nil {
+				return err
+			}
+		case cmdHalt:
+			return nil
+		}
+	}
+}

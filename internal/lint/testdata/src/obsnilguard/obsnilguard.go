@@ -52,3 +52,16 @@ func byValue(ob obs.Observer) {
 }
 
 func noop() {}
+
+// events exercises the Events field added with the protocol event log:
+// unguarded access is flagged like Metrics/Trace, guarded access and the
+// Eventf/EventLog accessors are sanctioned.
+func events(ob *obs.Observer) {
+	ob.Events.Addf(0, "boom") // want: unguarded Events access
+	if ob != nil {
+		ob.Events.Addf(0, "ok") // guarded: not flagged
+	}
+	ob.Eventf(0, "ok")              // nil-safe accessor: not flagged
+	_ = ob.EventLog()               // nil-safe accessor: not flagged
+	_ = ob == nil || ob.Events == nil // short-circuit ||: not flagged
+}

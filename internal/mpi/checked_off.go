@@ -1,0 +1,9 @@
+//go:build !commcheck
+
+package mpi
+
+// checkedByDefault reports whether NewComm enables protocol conformance
+// checking unconditionally. Without the commcheck build tag checking is
+// opt-in via NewCheckedComm, and every collective pays only a nil
+// pointer test for the instrumentation.
+const checkedByDefault = false

@@ -72,11 +72,18 @@ func (op Op) foldF64(dst, src []float64) {
 type Comm struct {
 	t    Transport
 	prof *Profiler
+	chk  *protoChecker // nil: protocol conformance checking off
 }
 
-// NewComm wraps a transport endpoint in a communicator.
+// NewComm wraps a transport endpoint in a communicator. Under the
+// commcheck build tag the communicator is protocol-checked with the
+// default CheckConfig; see CheckedComm.
 func NewComm(t Transport) *Comm {
-	return &Comm{t: t, prof: NewProfiler()}
+	c := &Comm{t: t, prof: NewProfiler()}
+	if checkedByDefault {
+		c.chk = newProtoChecker(t.Rank(), CheckConfig{})
+	}
+	return c
 }
 
 // Rank returns this communicator's rank.
@@ -169,7 +176,10 @@ func absRank(v, root, size int) int { return (v + root) % size }
 // optimized weight-synchronization path of §V-B. On non-root ranks buf is
 // overwritten with root's data.
 func (c *Comm) Bcast(root int, buf []float32) error {
-	checkRank("bcast root", root, c.Size())
+	if err := checkRank("bcast root", root, c.Size()); err != nil {
+		return err
+	}
+	c.enter(CollBcast, DtypeF32, root, len(buf), 1)
 	return c.timedCollective("bcast", int64(4*len(buf)), func() error {
 		size := c.Size()
 		if size == 1 {
@@ -180,7 +190,7 @@ func (c *Comm) Bcast(root int, buf []float32) error {
 		for mask < size {
 			if vr&mask != 0 {
 				src := absRank(vr-mask, root, size)
-				msg, err := c.t.Recv(src, tagBcast)
+				msg, err := c.collRecv(src, tagBcast)
 				if err != nil {
 					return err
 				}
@@ -200,7 +210,7 @@ func (c *Comm) Bcast(root int, buf []float32) error {
 		for mask > 0 {
 			if vr+mask < size {
 				dst := absRank(vr+mask, root, size)
-				if err := c.t.Send(dst, tagBcast, payload); err != nil && sendErr == nil {
+				if err := c.collSend(dst, tagBcast, payload); err != nil && sendErr == nil {
 					sendErr = err
 				}
 			}
@@ -216,7 +226,10 @@ func (c *Comm) Bcast(root int, buf []float32) error {
 // The combine order is a fixed function of the communicator size, so
 // results are deterministic run to run.
 func (c *Comm) Reduce(root int, op Op, buf []float32) error {
-	checkRank("reduce root", root, c.Size())
+	if err := checkRank("reduce root", root, c.Size()); err != nil {
+		return err
+	}
+	c.enter(CollReduce, DtypeF32, root, len(buf), 1)
 	return c.timedCollective("reduce", int64(4*len(buf)), func() error {
 		size := c.Size()
 		vr := vrank(c.Rank(), root, size)
@@ -224,12 +237,12 @@ func (c *Comm) Reduce(root int, op Op, buf []float32) error {
 		for mask := 1; mask < size; mask <<= 1 {
 			if vr&mask != 0 {
 				dst := absRank(vr-mask, root, size)
-				return c.t.Send(dst, tagReduce, encodeF32(buf))
+				return c.collSend(dst, tagReduce, encodeF32(buf))
 			}
 			peer := vr | mask
 			if peer < size {
 				src := absRank(peer, root, size)
-				msg, err := c.t.Recv(src, tagReduce)
+				msg, err := c.collRecv(src, tagReduce)
 				if err != nil {
 					return err
 				}
@@ -246,7 +259,10 @@ func (c *Comm) Reduce(root int, op Op, buf []float32) error {
 // ReduceF64 is Reduce for float64 payloads (losses and statistics that
 // need double-precision accumulation).
 func (c *Comm) ReduceF64(root int, op Op, buf []float64) error {
-	checkRank("reduce root", root, c.Size())
+	if err := checkRank("reduce root", root, c.Size()); err != nil {
+		return err
+	}
+	c.enter(CollReduce, DtypeF64, root, len(buf), 1)
 	return c.timedCollective("reduce", int64(8*len(buf)), func() error {
 		size := c.Size()
 		vr := vrank(c.Rank(), root, size)
@@ -254,12 +270,12 @@ func (c *Comm) ReduceF64(root int, op Op, buf []float64) error {
 		for mask := 1; mask < size; mask <<= 1 {
 			if vr&mask != 0 {
 				dst := absRank(vr-mask, root, size)
-				return c.t.Send(dst, tagReduce, encodeF64(buf))
+				return c.collSend(dst, tagReduce, encodeF64(buf))
 			}
 			peer := vr | mask
 			if peer < size {
 				src := absRank(peer, root, size)
-				msg, err := c.t.Recv(src, tagReduce)
+				msg, err := c.collRecv(src, tagReduce)
 				if err != nil {
 					return err
 				}
@@ -287,15 +303,16 @@ func (c *Comm) Allreduce(op Op, buf []float32) error {
 		}
 		return c.Bcast(0, buf)
 	}
+	c.enter(CollAllreduce, DtypeF32, -1, len(buf), 1)
 	return c.timedCollective("allreduce", int64(4*len(buf)), func() error {
 		rank := c.Rank()
 		tmp := make([]float32, len(buf))
 		for mask := 1; mask < size; mask <<= 1 {
 			partner := rank ^ mask
-			if err := c.t.Send(partner, tagAllredRD+mask, encodeF32(buf)); err != nil {
+			if err := c.collSend(partner, tagAllredRD+mask, encodeF32(buf)); err != nil {
 				return err
 			}
-			msg, err := c.t.Recv(partner, tagAllredRD+mask)
+			msg, err := c.collRecv(partner, tagAllredRD+mask)
 			if err != nil {
 				return err
 			}
@@ -314,6 +331,7 @@ func (c *Comm) AllreduceF64(op Op, buf []float64) error {
 		return err
 	}
 	// Broadcast the float64 result via the byte path of Bcast's tree.
+	c.enter(CollBcast, DtypeF64, 0, len(buf), 1)
 	return c.timedCollective("bcast", int64(8*len(buf)), func() error {
 		size := c.Size()
 		if size == 1 {
@@ -323,7 +341,7 @@ func (c *Comm) AllreduceF64(op Op, buf []float64) error {
 		mask := 1
 		for mask < size {
 			if vr&mask != 0 {
-				msg, err := c.t.Recv(vr-mask, tagBcast)
+				msg, err := c.collRecv(vr-mask, tagBcast)
 				if err != nil {
 					return err
 				}
@@ -339,7 +357,7 @@ func (c *Comm) AllreduceF64(op Op, buf []float64) error {
 		var sendErr error
 		for mask > 0 {
 			if vr+mask < size {
-				if err := c.t.Send(vr+mask, tagBcast, payload); err != nil && sendErr == nil {
+				if err := c.collSend(vr+mask, tagBcast, payload); err != nil && sendErr == nil {
 					sendErr = err
 				}
 			}
@@ -352,16 +370,17 @@ func (c *Comm) AllreduceF64(op Op, buf []float64) error {
 // Barrier blocks until every rank has entered it (dissemination barrier,
 // ⌈log₂P⌉ rounds).
 func (c *Comm) Barrier() error {
+	c.enter(CollBarrier, DtypeNone, -1, 0, 1)
 	return c.timedCollective("barrier", 0, func() error {
 		size := c.Size()
 		rank := c.Rank()
 		for dist := 1; dist < size; dist <<= 1 {
 			dst := (rank + dist) % size
 			src := (rank - dist + size) % size
-			if err := c.t.Send(dst, tagBarrier+dist, nil); err != nil {
+			if err := c.collSend(dst, tagBarrier+dist, nil); err != nil {
 				return err
 			}
-			if _, err := c.t.Recv(src, tagBarrier+dist); err != nil {
+			if _, err := c.collRecv(src, tagBarrier+dist); err != nil {
 				return err
 			}
 		}
@@ -373,10 +392,13 @@ func (c *Comm) Barrier() error {
 // buffer (rank i's data at recv[i*len(send):]). recv is only used at root,
 // where it must have Size()*len(send) elements.
 func (c *Comm) Gather(root int, send, recv []float32) error {
-	checkRank("gather root", root, c.Size())
+	if err := checkRank("gather root", root, c.Size()); err != nil {
+		return err
+	}
+	c.enter(CollGather, DtypeF32, root, len(send), 1)
 	return c.timedCollective("gather", int64(4*len(send)), func() error {
 		if c.Rank() != root {
-			return c.t.Send(root, tagGather, encodeF32(send))
+			return c.collSend(root, tagGather, encodeF32(send))
 		}
 		n := len(send)
 		if len(recv) != n*c.Size() {
@@ -387,7 +409,7 @@ func (c *Comm) Gather(root int, send, recv []float32) error {
 			if r == root {
 				continue
 			}
-			msg, err := c.t.Recv(r, tagGather)
+			msg, err := c.collRecv(r, tagGather)
 			if err != nil {
 				return err
 			}
@@ -403,7 +425,10 @@ func (c *Comm) Gather(root int, send, recv []float32) error {
 // recv buffer (rank i gets send[i*len(recv):]). send is only used at root,
 // where it must have Size()*len(recv) elements.
 func (c *Comm) Scatter(root int, send, recv []float32) error {
-	checkRank("scatter root", root, c.Size())
+	if err := checkRank("scatter root", root, c.Size()); err != nil {
+		return err
+	}
+	c.enter(CollScatter, DtypeF32, root, len(recv), 1)
 	return c.timedCollective("scatter", int64(4*len(recv)), func() error {
 		n := len(recv)
 		if c.Rank() == root {
@@ -416,13 +441,13 @@ func (c *Comm) Scatter(root int, send, recv []float32) error {
 					copy(recv, send[r*n:(r+1)*n])
 					continue
 				}
-				if err := c.t.Send(r, tagScatter, encodeF32(send[r*n:(r+1)*n])); err != nil && sendErr == nil {
+				if err := c.collSend(r, tagScatter, encodeF32(send[r*n:(r+1)*n])); err != nil && sendErr == nil {
 					sendErr = err
 				}
 			}
 			return sendErr
 		}
-		msg, err := c.t.Recv(root, tagScatter)
+		msg, err := c.collRecv(root, tagScatter)
 		if err != nil {
 			return err
 		}
@@ -434,6 +459,7 @@ func (c *Comm) Scatter(root int, send, recv []float32) error {
 // rank's recv buffer using a ring, recv[i*len(send):] holding rank i's
 // contribution.
 func (c *Comm) Allgather(send, recv []float32) error {
+	c.enter(CollAllgather, DtypeF32, -1, len(send), 1)
 	return c.timedCollective("allgather", int64(4*len(send)), func() error {
 		size := c.Size()
 		rank := c.Rank()
@@ -447,10 +473,10 @@ func (c *Comm) Allgather(send, recv []float32) error {
 		// Ring: in step s, forward the block received in step s-1.
 		blk := rank
 		for s := 0; s < size-1; s++ {
-			if err := c.t.Send(right, tagAllgather+s, encodeF32(recv[blk*n:(blk+1)*n])); err != nil {
+			if err := c.collSend(right, tagAllgather+s, encodeF32(recv[blk*n:(blk+1)*n])); err != nil {
 				return err
 			}
-			msg, err := c.t.Recv(left, tagAllgather+s)
+			msg, err := c.collRecv(left, tagAllgather+s)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame codec for the TCP fabric. Every frame on the wire is
+//
+//	[tag int32][length uint32][payload length bytes]
+//
+// in little-endian order. The codec lives apart from the connection
+// plumbing so it can be fuzzed directly against malformed input (short
+// headers, truncated payloads, oversized or adversarial lengths).
+
+// frameHeaderSize is the fixed per-frame overhead: tag plus length.
+const frameHeaderSize = 8
+
+// frameReadChunk caps the initial payload allocation while reading a
+// frame. A frame header is attacker-/corruption-controlled, so the
+// claimed length must not be trusted before the bytes actually arrive:
+// allocating it up front lets a single bogus 8-byte header pin up to
+// maxFrameSize of memory. Instead the payload grows chunk by chunk as
+// bytes are read, so a lying header costs at most one chunk.
+const frameReadChunk = 64 << 10
+
+// errFrameTooLarge reports a frame whose header claims a payload above
+// maxFrameSize, which indicates corruption rather than a real message.
+var errFrameTooLarge = fmt.Errorf("mpi: frame exceeds %d bytes", maxFrameSize)
+
+// appendFrame appends a wire frame carrying (tag, data) to dst and
+// returns the extended slice.
+func appendFrame(dst []byte, tag int, data []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, data...)
+}
+
+// readFrame reads one frame from r. It returns io.EOF only on a clean
+// boundary (no header bytes at all); a frame cut off mid-header or
+// mid-payload returns io.ErrUnexpectedEOF, and a header claiming more
+// than maxFrameSize returns errFrameTooLarge without allocating the
+// claimed length.
+func readFrame(r io.Reader) (tag int, data []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	tag = int(int32(binary.LittleEndian.Uint32(hdr[:4])))
+	length := binary.LittleEndian.Uint32(hdr[4:])
+	if length > maxFrameSize {
+		return 0, nil, errFrameTooLarge
+	}
+	if length == 0 {
+		return tag, nil, nil
+	}
+	// Read in bounded chunks: allocation tracks bytes received, not the
+	// header's claim.
+	data = make([]byte, 0, min(int(length), frameReadChunk))
+	remaining := int(length)
+	var chunk [frameReadChunk]byte
+	for remaining > 0 {
+		n := min(remaining, frameReadChunk)
+		if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+		data = append(data, chunk[:n]...)
+		remaining -= n
+	}
+	return tag, data, nil
+}

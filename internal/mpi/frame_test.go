@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func TestReadFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		tag  int
+		data []byte
+	}{
+		{0, nil},
+		{7, []byte{}},
+		{-3, []byte("payload")},
+		{tagBcast, make([]byte, 3*frameReadChunk+17)}, // spans several read chunks
+	}
+	for _, tc := range cases {
+		wire := appendFrame(nil, tc.tag, tc.data)
+		if len(wire) != frameHeaderSize+len(tc.data) {
+			t.Fatalf("frame length %d, want %d", len(wire), frameHeaderSize+len(tc.data))
+		}
+		tag, data, err := readFrame(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatalf("readFrame(tag=%d, %dB): %v", tc.tag, len(tc.data), err)
+		}
+		if tag != tc.tag || !bytes.Equal(data, tc.data) {
+			t.Fatalf("readFrame = (%d, %dB), want (%d, %dB)", tag, len(data), tc.tag, len(tc.data))
+		}
+	}
+}
+
+func TestReadFrameMalformed(t *testing.T) {
+	huge := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(huge[4:], 1<<31) // claims 2GB > maxFrameSize
+
+	lying := make([]byte, frameHeaderSize, frameHeaderSize+3)
+	binary.LittleEndian.PutUint32(lying[4:], maxFrameSize) // claims 1GB, delivers 3 bytes
+	lying = append(lying, 1, 2, 3)
+
+	cases := []struct {
+		name string
+		wire []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"short header", []byte{1, 2, 3}, io.ErrUnexpectedEOF},
+		{"truncated payload", appendFrame(nil, 5, []byte("abcdef"))[:frameHeaderSize+2], io.ErrUnexpectedEOF},
+		{"oversized length", huge, errFrameTooLarge},
+		{"lying length", lying, io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		_, _, err := readFrame(bytes.NewReader(tc.wire))
+		if err != tc.want {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the TCP frame decoder:
+// it must never panic or allocate anywhere near a lying header's claim,
+// and anything it accepts must re-encode to a prefix of the input.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(appendFrame(nil, 0, nil))
+	f.Add(appendFrame(nil, 42, []byte("hello")))
+	f.Add(appendFrame(nil, -1, make([]byte, 100)))
+	f.Add(appendFrame(nil, 5, []byte("abcdef"))[:frameHeaderSize+2]) // truncated payload
+	huge := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(huge[4:], 0xFFFFFFFF)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		tag, data, err := readFrame(bytes.NewReader(wire))
+		if err != nil {
+			return
+		}
+		redone := appendFrame(nil, tag, data)
+		if !bytes.Equal(redone, wire[:len(redone)]) {
+			t.Fatalf("accepted frame does not round-trip: got %x want prefix of %x", redone, wire)
+		}
+	})
+}

@@ -23,7 +23,7 @@ func NewInprocFabric(n int) *InprocFabric {
 
 // Transport returns the endpoint for the given rank.
 func (f *InprocFabric) Transport(rank int) Transport {
-	checkRank("inproc transport", rank, len(f.boxes))
+	mustRank("inproc transport", rank, len(f.boxes))
 	return &inprocTransport{fabric: f, rank: rank}
 }
 
@@ -43,7 +43,9 @@ func (t *inprocTransport) Rank() int { return t.rank }
 func (t *inprocTransport) Size() int { return len(t.fabric.boxes) }
 
 func (t *inprocTransport) Send(dst, tag int, data []byte) error {
-	checkRank("send destination", dst, t.Size())
+	if err := checkRank("send destination", dst, t.Size()); err != nil {
+		return err
+	}
 	// Copy so the sender can immediately reuse its buffer, matching the
 	// blocking-send semantics the trainer relies on.
 	cp := make([]byte, len(data))
@@ -53,7 +55,9 @@ func (t *inprocTransport) Send(dst, tag int, data []byte) error {
 
 func (t *inprocTransport) Recv(src, tag int) (Message, error) {
 	if src != AnySource {
-		checkRank("recv source", src, t.Size())
+		if err := checkRank("recv source", src, t.Size()); err != nil {
+			return Message{}, err
+		}
 	}
 	return t.fabric.boxes[t.rank].get(src, tag)
 }

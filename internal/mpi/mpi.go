@@ -70,8 +70,21 @@ const (
 // isPowerOfTwo reports whether n is a positive power of two.
 func isPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 
-func checkRank(what string, rank, size int) {
+// checkRank validates rank ∈ [0, size). Public collective and transport
+// paths return the error so a bad root surfaces as an mpi error on the
+// calling rank instead of killing it; constructors without an error
+// return use mustRank.
+func checkRank(what string, rank, size int) error {
 	if rank < 0 || rank >= size {
-		panic(fmt.Sprintf("mpi: %s rank %d out of range [0,%d)", what, rank, size))
+		return fmt.Errorf("mpi: %s rank %d out of range [0,%d)", what, rank, size)
+	}
+	return nil
+}
+
+// mustRank is checkRank for infallible accessors (fabric construction),
+// where an out-of-range rank is a programming error with no error path.
+func mustRank(what string, rank, size int) {
+	if err := checkRank(what, rank, size); err != nil {
+		panic(err.Error())
 	}
 }

@@ -86,16 +86,19 @@ func TestAnySourceAnyTag(t *testing.T) {
 	})
 }
 
-func TestSendInvalidRankPanics(t *testing.T) {
+func TestSendInvalidRankErrors(t *testing.T) {
 	f := NewInprocFabric(2)
 	defer f.Close()
 	c := NewComm(f.Transport(0))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for invalid destination")
-		}
-	}()
-	c.SendBytes(5, 0, nil)
+	if err := c.SendBytes(5, 0, nil); err == nil {
+		t.Fatal("expected error for invalid destination")
+	}
+	if _, err := c.RecvBytes(5, 0); err == nil {
+		t.Fatal("expected error for invalid source")
+	}
+	if err := c.Bcast(5, make([]float32, 1)); err == nil {
+		t.Fatal("expected error for invalid bcast root")
+	}
 }
 
 func TestRecvAfterCloseErrors(t *testing.T) {

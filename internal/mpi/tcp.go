@@ -41,7 +41,9 @@ type tcpConn struct {
 // ConnectTCP concurrently; it returns once the full mesh is established.
 func ConnectTCP(rank int, addrs []string) (Transport, error) {
 	size := len(addrs)
-	checkRank("tcp", rank, size)
+	if err := checkRank("tcp", rank, size); err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("mpi: rank %d listen: %w", rank, err)
@@ -160,23 +162,13 @@ func connectTCPWithListener(rank int, addrs []string, ln net.Listener) (Transpor
 // readLoop parses frames from one peer into the mailbox until the
 // connection fails or the transport closes.
 func (t *tcpTransport) readLoop(peer int, conn net.Conn) {
-	var hdr [8]byte
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			// Peer death or local close: mark this peer down so a Recv
-			// waiting on it observes the failure instead of hanging.
-			// Queued messages from the peer remain deliverable.
-			t.box.markDown(peer)
-			return
-		}
-		tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
-		length := binary.LittleEndian.Uint32(hdr[4:])
-		if length > maxFrameSize {
-			t.box.markDown(peer)
-			return
-		}
-		data := make([]byte, length)
-		if _, err := io.ReadFull(conn, data); err != nil {
+		tag, data, err := readFrame(conn)
+		if err != nil {
+			// Peer death, a malformed frame, or local close: mark this
+			// peer down so a Recv waiting on it observes the failure
+			// instead of hanging. Queued messages from the peer remain
+			// deliverable.
 			t.box.markDown(peer)
 			return
 		}
@@ -190,7 +182,9 @@ func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
 
 func (t *tcpTransport) Send(dst, tag int, data []byte) error {
-	checkRank("send destination", dst, t.size)
+	if err := checkRank("send destination", dst, t.size); err != nil {
+		return err
+	}
 	if dst == t.rank {
 		cp := make([]byte, len(data))
 		copy(cp, data)
@@ -200,10 +194,7 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 	if tc == nil {
 		return ErrClosed
 	}
-	frame := make([]byte, 8+len(data))
-	binary.LittleEndian.PutUint32(frame[:4], uint32(int32(tag)))
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
-	copy(frame[8:], data)
+	frame := appendFrame(make([]byte, 0, frameHeaderSize+len(data)), tag, data)
 	tc.mu.Lock()
 	_, err := tc.c.Write(frame)
 	tc.mu.Unlock()
@@ -215,7 +206,9 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 
 func (t *tcpTransport) Recv(src, tag int) (Message, error) {
 	if src != AnySource {
-		checkRank("recv source", src, t.size)
+		if err := checkRank("recv source", src, t.size); err != nil {
+			return Message{}, err
+		}
 	}
 	return t.box.get(src, tag)
 }

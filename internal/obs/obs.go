@@ -24,6 +24,9 @@ type Observer struct {
 	Metrics *Registry
 	// Trace receives spans; nil disables.
 	Trace *Tracer
+	// Events receives diagnostic event lines (failure dumps, protocol
+	// histories); nil disables.
+	Events *EventLog
 }
 
 // Span starts a span on the observer's tracer; nil-safe.
@@ -51,4 +54,23 @@ func (o *Observer) Tracer() *Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// EventLog returns the diagnostic event log, or nil when disabled;
+// nil-safe. Like Trace, the Events field must be reached through this
+// accessor (or Eventf) outside package obs.
+func (o *Observer) EventLog() *EventLog {
+	if o == nil {
+		return nil
+	}
+	return o.Events
+}
+
+// Eventf records a formatted diagnostic event for rank; nil-safe at
+// every level (nil Observer, nil EventLog).
+func (o *Observer) Eventf(rank int, format string, args ...any) {
+	if o == nil {
+		return
+	}
+	o.Events.Addf(rank, format, args...)
 }
