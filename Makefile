@@ -1,12 +1,13 @@
-.PHONY: verify lint commcheck race race-mpi test bench bench_obs
+.PHONY: verify lint commcheck numcheck determinism race race-mpi test bench bench_obs
 
 # Full gate: compile, vet, the repo-specific static analyzers (including
-# the collective-protocol checker), the complete test suite under the
-# race detector, the same suites re-run with runtime protocol conformance
-# checking on every collective (-tags commcheck), and the
-# invariant-checked build of the numeric core.
+# the collective-protocol checker and the determinism/numerical-safety
+# quartet), the complete test suite under the race detector, the same
+# suites re-run with runtime protocol conformance checking on every
+# collective (-tags commcheck), the invariant-checked build of the
+# numeric core, and the bit-reproducible replay gate on both fabrics.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) determinism
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
@@ -21,6 +22,23 @@ lint:
 # orphaned opcode arms. See DESIGN.md, "Collective protocol".
 commcheck:
 	go run ./cmd/repolint -only commcheck
+
+# Determinism & numerical-safety analyzers only: range-over-map float
+# accumulation, arrival-order channel reduction, global/time-seeded RNG
+# use, and unguarded float division. See DESIGN.md, "Determinism".
+numcheck:
+	go run ./cmd/repolint -only maporderfloat,reduceorder,rngsource,divguard
+
+# Bit-reproducible replay gate: train the same seeded problem twice on
+# each fabric and require byte-identical per-iteration FNV hash streams
+# of gradients, CG solutions, and accepted parameters. Also runs the
+# granular (-tags determinism) replay suite, which additionally hashes
+# every CG curvature application. Writes BENCH_determinism.json.
+determinism:
+	go run ./cmd/hftrain -replay-verify -transport inproc,tcp -ranks 3 \
+		-utterances 60 -iters 3 -hidden 16 -layers 1 \
+		-replay-json BENCH_determinism.json
+	go test -tags determinism -run Replay ./internal/core
 
 # Race-detector pass over the packages with real concurrency: the MPI
 # transport, the master/worker training core, and the metrics registry.

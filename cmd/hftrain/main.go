@@ -17,11 +17,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -52,6 +55,9 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write per-HF-iteration telemetry as JSONL to this path")
 	commcheck := flag.Bool("commcheck", false, "dist mode: verify cross-rank collective-protocol conformance on every collective (fails fast on divergence)")
 	commcheckDeadline := flag.Duration("commcheck-deadline", 0, "with -commcheck: per-collective watchdog deadline (0 = default, negative disables)")
+	shuffle := flag.Bool("shuffle", false, "shuffle utterances (seeded) before the train/held-out split")
+	replayVerify := flag.Bool("replay-verify", false, "run the training twice per fabric in -transport (comma-separated) and fail unless the per-iteration hash streams are bit-identical")
+	replayJSON := flag.String("replay-json", "", "with -replay-verify: write the replay reports and gate wall time as JSON to this path")
 	flag.Parse()
 
 	var ob *obs.Observer
@@ -82,6 +88,11 @@ func main() {
 		Context:       2,
 		NumStates:     *states,
 	})
+	if *shuffle {
+		// Explicit seeded source: shard plans stay identical across runs
+		// with the same -seed (the rngsource analyzer's contract).
+		corpus.ShuffleUtterances(rand.New(rand.NewSource(*seed)), c.Utts)
+	}
 	train, held := c.Split(10)
 	log.Printf("train: %d utterances / %d frames; held-out: %d utterances / %d frames",
 		len(train.Utts), train.TotalFrames(), len(held.Utts), held.TotalFrames())
@@ -114,6 +125,13 @@ func main() {
 		}
 		defer f.Close()
 		hfCfg.Telemetry = core.TelemetryJSONL(f)
+	}
+
+	if *replayVerify {
+		if err := runReplayGate(prob, hfCfg, *ranks, *transport, *replayJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	switch *mode {
@@ -214,34 +232,56 @@ func main() {
 // one process for convenience. A non-nil chk wraps every rank's comm in
 // the collective-protocol checker.
 func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int, ob *obs.Observer, chk *mpi.CheckConfig) (*core.MasterResult, error) {
-	transports, err := mpi.ConnectTCPLocal(ranks)
-	if err != nil {
-		return nil, err
+	if chk != nil {
+		return core.TrainDistributedHFTCPChecked(prob, cfg, ranks, nil, ob, *chk)
 	}
-	newComm := func(r int) *mpi.Comm {
-		if chk != nil {
-			return mpi.NewCheckedComm(transports[r], *chk).Comm
+	return core.TrainDistributedHFTCP(prob, cfg, ranks, nil, ob)
+}
+
+// runReplayGate runs core.ReplayVerify on every fabric in the
+// comma-separated transport list, prints each report, optionally writes
+// the reports plus total gate wall time as JSON (the BENCH_determinism
+// entry), and returns an error if any fabric diverged.
+func runReplayGate(prob core.Problem, cfg hf.Config, ranks int, transports, jsonPath string) error {
+	cfg.Log = nil // keep the doubled runs quiet; hashes are the output
+	var reports []*core.ReplayReport
+	divergent := false
+	gateStart := time.Now()
+	for _, fabric := range strings.Split(transports, ",") {
+		fabric = strings.TrimSpace(fabric)
+		if fabric == "" {
+			continue
 		}
-		return mpi.NewComm(transports[r])
-	}
-	workerErrs := make(chan error, ranks-1)
-	for r := 1; r < ranks; r++ {
-		go func(r int) {
-			comm := newComm(r)
-			defer comm.Close()
-			workerErrs <- core.RunWorkerObs(comm, ob)
-		}(r)
-	}
-	master := newComm(0)
-	defer master.Close()
-	res, err := core.RunMasterObs(master, prob, cfg, nil, ob)
-	for r := 1; r < ranks; r++ {
-		if werr := <-workerErrs; werr != nil && err == nil {
-			err = werr
+		rep, err := core.ReplayVerify(prob, cfg, ranks, nil, fabric)
+		if err != nil {
+			return err
 		}
+		fmt.Println(rep)
+		reports = append(reports, rep)
+		divergent = divergent || rep.Divergent
 	}
-	if err != nil {
-		return nil, err
+	gateWall := time.Since(gateStart)
+	if len(reports) == 0 {
+		return fmt.Errorf("no fabrics in -transport %q", transports)
 	}
-	return res, nil
+	if jsonPath != "" {
+		out := struct {
+			Bench      string               `json:"bench"`
+			Reports    []*core.ReplayReport `json:"reports"`
+			GateWallNs int64                `json:"gate_wall_ns"`
+		}{Bench: "determinism_replay_gate", Reports: reports, GateWallNs: gateWall.Nanoseconds()}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("replay gate report written to %s", jsonPath)
+	}
+	if divergent {
+		return fmt.Errorf("replay verification FAILED: hash streams diverged (see above)")
+	}
+	log.Printf("replay verification passed on %d fabric(s) in %v", len(reports), gateWall.Round(time.Millisecond))
+	return nil
 }

@@ -66,6 +66,18 @@ func TestSelectAnalyzers(t *testing.T) {
 	if _, err = selectAnalyzers("nosuchanalyzer"); err == nil {
 		t.Fatal("unknown analyzer accepted")
 	}
+	// The numcheck quartet resolves as a group — the `make numcheck`
+	// invocation — and in suite order regardless of request order.
+	sel, err = selectAnalyzers("divguard,maporderfloat,reduceorder,rngsource")
+	if err != nil || len(sel) != 4 {
+		t.Fatalf("selectAnalyzers(numcheck quartet) = %v, err %v", sel, err)
+	}
+	want := []string{"maporderfloat", "reduceorder", "rngsource", "divguard"}
+	for i, a := range sel {
+		if a.Name() != want[i] {
+			t.Errorf("numcheck quartet[%d] = %s, want %s (suite order)", i, a.Name(), want[i])
+		}
+	}
 }
 
 // TestJSONCleanRun ensures a finding-free report renders findings as an

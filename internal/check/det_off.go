@@ -1,0 +1,10 @@
+//go:build !determinism
+
+package check
+
+// Replay reports whether fine-grained replay hashing is compiled in;
+// without the determinism build tag the optimizer records only the
+// per-iteration summary hashes (gradient, CG result, step, θ), which is
+// enough for the replay gate to detect divergence — the tag narrows it
+// to the exact CG application.
+const Replay = false

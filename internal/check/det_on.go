@@ -1,0 +1,10 @@
+//go:build determinism
+
+package check
+
+// Replay reports whether fine-grained replay hashing is compiled in;
+// this build has the determinism tag, so the HF optimizer additionally
+// hashes every CG curvature application (direction and product), not
+// just the per-iteration summaries. That pins divergence to the exact
+// CG step at the cost of one hash pass per collective pair.
+const Replay = true

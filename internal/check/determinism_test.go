@@ -1,0 +1,98 @@
+package check
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHashF32MatchesStdlibFNV pins the hand-rolled FNV-1a fold to the
+// standard library implementation over the same byte stream.
+func TestHashF32MatchesStdlibFNV(t *testing.T) {
+	xs := []float32{0, 1, -1, 0.5, 3.14159, float32(math.Inf(1))}
+	h := fnv.New64a()
+	for _, v := range xs {
+		bits := math.Float32bits(v)
+		// fnvWord folds 64-bit words least-significant byte first, with
+		// the float32 pattern zero-extended.
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(uint64(bits) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	if got, want := HashF32(xs), h.Sum64(); got != want {
+		t.Errorf("HashF32 = %016x, stdlib fnv = %016x", got, want)
+	}
+}
+
+// TestHashDistinguishesBitPatterns checks the contract is
+// bit-reproducibility: -0 vs +0 must hash differently even though they
+// compare equal as floats.
+func TestHashDistinguishesBitPatterns(t *testing.T) {
+	pos := []float32{0}
+	neg := []float32{float32(math.Copysign(0, -1))}
+	if HashF32(pos) == HashF32(neg) {
+		t.Error("+0 and -0 hash identically; bit patterns must be distinguished")
+	}
+	if HashF64([]float64{1, 2}) == HashF64([]float64{2, 1}) {
+		t.Error("element order must affect the hash")
+	}
+}
+
+// TestHashStreamRecordsInOrder checks recording order, nil-safety and
+// the wire format.
+func TestHashStreamRecordsInOrder(t *testing.T) {
+	var nilStream *HashStream
+	nilStream.RecordVec(1, "gradient", []float32{1})
+	nilStream.RecordScalars(1, "alpha", 0.5)
+	if nilStream.Records() != nil || nilStream.Len() != 0 {
+		t.Error("nil stream must be a no-op sink")
+	}
+
+	s := &HashStream{}
+	s.RecordVec(1, "gradient", []float32{1, 2, 3})
+	s.RecordScalars(1, "alpha", 0.5)
+	s.RecordVec(2, "theta", []float32{4})
+	recs := s.Records()
+	if len(recs) != 3 || s.Len() != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Tensor != "gradient" || recs[0].Iter != 1 || recs[0].Len != 3 {
+		t.Errorf("unexpected first record %+v", recs[0])
+	}
+	wire := recs[1].String()
+	if !strings.HasPrefix(wire, "iter=1 tensor=alpha len=1 fnv=") || len(wire) != len("iter=1 tensor=alpha len=1 fnv=")+16 {
+		t.Errorf("wire format %q does not match iter=N tensor=S len=N fnv=%%016x", wire)
+	}
+}
+
+// TestFirstDivergence covers identical streams, a hash mismatch, and a
+// length mismatch (one stream a strict prefix of the other).
+func TestFirstDivergence(t *testing.T) {
+	a := &HashStream{}
+	b := &HashStream{}
+	for _, s := range []*HashStream{a, b} {
+		s.RecordVec(1, "gradient", []float32{1, 2})
+		s.RecordVec(1, "theta", []float32{3})
+	}
+	if d, diverged := FirstDivergence(a.Records(), b.Records()); diverged {
+		t.Fatalf("identical streams reported divergent: %s", d)
+	}
+
+	b.RecordVec(2, "gradient", []float32{5})
+	d, diverged := FirstDivergence(a.Records(), b.Records())
+	if !diverged || d.Index != 2 || d.B.Tensor != "gradient" {
+		t.Fatalf("prefix divergence not detected: %+v diverged=%v", d, diverged)
+	}
+
+	a.RecordVec(2, "gradient", []float32{6})
+	d, diverged = FirstDivergence(a.Records(), b.Records())
+	if !diverged || d.Index != 2 || d.A.Hash == d.B.Hash {
+		t.Fatalf("hash divergence not detected: %+v diverged=%v", d, diverged)
+	}
+	if !strings.Contains(d.String(), "iter=2 tensor=gradient") {
+		t.Errorf("divergence rendering %q lacks the wire-format records", d)
+	}
+}

@@ -97,7 +97,7 @@ func RunAsyncMaster(comm *mpi.Comm, p Problem, cfg AsyncSGDConfig, part corpus.P
 	if p.InitParams != nil {
 		net.SetParams(p.InitParams)
 	} else {
-		net.InitGlorot(rand.New(rand.NewSource(p.Seed)))
+		net.InitGlorot(p.InitRNG())
 	}
 	theta := net.Params
 	grad := make(tensor.Vector, len(theta))
@@ -234,6 +234,7 @@ func RunAsyncWorker(comm *mpi.Comm, cfg AsyncSGDConfig) error {
 			// Pre-scale by lr/batch and push without blocking on the
 			// server; also apply locally so progress continues on stale
 			// parameters between pulls.
+			//lint:ignore divguard batch units are built non-empty, so rows ≥ 1
 			grad.Scale(float32(cfg.LearningRate / float64(rows)))
 			eng.net.Params.AddScaled(-1, grad)
 			if pending != nil {

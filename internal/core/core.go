@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/corpus"
 	"repro/internal/nn"
@@ -76,6 +77,16 @@ type Problem struct {
 	// parameter vector instead of a Glorot draw — e.g. sequence training
 	// warm-started from a cross-entropy model, the standard practice.
 	InitParams tensor.Vector
+}
+
+// InitRNG returns the problem's explicit random source for parameter
+// initialization, derived from Seed in exactly one place. Every
+// seed-dependent draw in the trainer flows from an explicit *rand.Rand
+// like this one (the rngsource analyzer bans the global math/rand
+// source in compute packages) — the precondition for ReplayVerify's
+// "same config ⇒ same bits" contract.
+func (p Problem) InitRNG() *rand.Rand {
+	return rand.New(rand.NewSource(p.Seed))
 }
 
 func (p Problem) filled() Problem {

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/check"
@@ -257,7 +256,7 @@ func RunMasterObs(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitio
 	if p.InitParams != nil {
 		net.SetParams(p.InitParams)
 	} else {
-		net.InitGlorot(rand.New(rand.NewSource(p.Seed)))
+		net.InitGlorot(p.InitRNG())
 	}
 	obj := &distObjective{comm: comm, dim: net.NumParams(), theta: net.Params.Clone(), ob: ob}
 	obj.SetParams(obj.theta)

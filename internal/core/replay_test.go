@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/hf"
+)
+
+// replayConfig is a short HF run for the replay gate tests.
+func replayConfig(iters int) hf.Config {
+	return hf.Config{
+		MaxIterations: iters,
+		Lambda0:       1,
+		CG:            hf.CGOpts{MaxIters: 10, MinIters: 3},
+	}
+}
+
+// TestReplayVerifyInproc is the replay gate's core promise: two seeded
+// runs over the in-process fabric produce bit-identical hash streams.
+func TestReplayVerifyInproc(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	rep, err := ReplayVerify(p, replayConfig(3), 3, nil, "inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent {
+		t.Fatalf("seeded replay diverged: %s", rep.Detail)
+	}
+	if rep.Runs[0].Records == 0 || rep.Runs[0].Records != rep.Runs[1].Records {
+		t.Fatalf("record counts %d vs %d; want equal and non-zero",
+			rep.Runs[0].Records, rep.Runs[1].Records)
+	}
+	if rep.Runs[0].FinalLoss != rep.Runs[1].FinalLoss {
+		//lint:ignore floateq bit-identical replay is exactly an exact-equality contract
+		t.Fatalf("final losses differ: %v vs %v", rep.Runs[0].FinalLoss, rep.Runs[1].FinalLoss)
+	}
+	if !strings.Contains(rep.String(), "bit-identical") {
+		t.Errorf("summary %q should report bit-identical streams", rep)
+	}
+}
+
+// TestReplayVerifyUnknownFabric pins the error path.
+func TestReplayVerifyUnknownFabric(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	if _, err := ReplayVerify(p, replayConfig(1), 2, nil, "carrier-pigeon"); err == nil {
+		t.Fatal("unknown fabric should error")
+	}
+}
+
+// TestReplayDetectsSeedChange checks the gate actually has teeth: runs
+// with different seeds must produce divergent streams, detected at the
+// very first hashed tensor (the gradient at the seed-dependent θ0).
+func TestReplayDetectsSeedChange(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	cfg := replayConfig(2)
+
+	streams := make([][]check.HashRecord, 2)
+	for i, seed := range []int64{7, 8} {
+		q := p
+		q.Seed = seed
+		hs := &check.HashStream{}
+		c := cfg
+		c.Hash = hs
+		if _, err := trainDistributedHF(q, c, 3, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = hs.Records()
+	}
+	d, diverged := check.FirstDivergence(streams[0], streams[1])
+	if !diverged {
+		t.Fatal("different seeds produced identical hash streams")
+	}
+	if d.Index != 0 || d.A.Tensor != "gradient" {
+		t.Errorf("divergence at record %d tensor %q; want record 0 tensor gradient", d.Index, d.A.Tensor)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/hf"
 	"repro/internal/tensor"
@@ -29,7 +28,7 @@ func NewSerialObjective(p Problem) (*SerialObjective, error) {
 	if p.InitParams != nil {
 		eng.net.SetParams(p.InitParams)
 	} else {
-		eng.net.InitGlorot(rand.New(rand.NewSource(p.Seed)))
+		eng.net.InitGlorot(p.InitRNG())
 	}
 	return &SerialObjective{eng: eng, totalTrainFrames: eng.train.frames()}, nil
 }
@@ -48,7 +47,9 @@ func (o *SerialObjective) SetParams(p tensor.Vector) { o.eng.setParams(p) }
 func (o *SerialObjective) Gradient() tensor.Vector {
 	grad := tensor.NewVector(o.Dim())
 	o.eng.gradient(grad)
-	grad.Scale(1 / float32(o.totalTrainFrames))
+	if o.totalTrainFrames > 0 {
+		grad.Scale(1 / float32(o.totalTrainFrames))
+	}
 	return grad
 }
 
@@ -60,12 +61,17 @@ func (o *SerialObjective) NewCurvatureSample(iter int) { o.eng.drawSample(iter) 
 func (o *SerialObjective) GNProduct(v, out tensor.Vector) {
 	out.Zero()
 	frames := o.eng.gnProduct(v, out)
-	out.Scale(1 / float32(frames))
+	if frames > 0 {
+		out.Scale(1 / float32(frames))
+	}
 }
 
 // HeldOutLoss implements hf.Objective: mean per-frame held-out loss at p.
 func (o *SerialObjective) HeldOutLoss(p tensor.Vector) float64 {
 	loss, frames := o.eng.heldLossAt(p)
+	if frames <= 0 {
+		return 0
+	}
 	return loss / float64(frames)
 }
 
@@ -82,6 +88,9 @@ func (o *SerialObjective) CurvatureDiag(lambda float64) tensor.Vector {
 // damping, applies the Martens exponent and clamps away from zero.
 func finishPreconditioner(diag tensor.Vector, frames int, lambda float64) tensor.Vector {
 	const alpha = 0.75
+	if frames < 1 {
+		frames = 1
+	}
 	inv := 1.0 / float64(frames)
 	for i, v := range diag {
 		m := math.Pow(float64(v)*inv+lambda, alpha)

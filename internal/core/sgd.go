@@ -106,6 +106,7 @@ func TrainSGD(p Problem, cfg SGDConfig) (*SerialObjective, *SGDResult, error) {
 			epochLoss += loss
 			epochFrames += rows
 			// v ← μv − (lr/batch)·g ; θ ← θ + v
+			//lint:ignore divguard batch units are built non-empty, so rows ≥ 1
 			scale := float32(lr / float64(rows))
 			for i := range vel {
 				vel[i] = float32(cfg.Momentum)*vel[i] - scale*grad[i]
@@ -113,10 +114,17 @@ func TrainSGD(p Problem, cfg SGDConfig) (*SerialObjective, *SGDResult, error) {
 			eng.net.Params.AddScaled(1, vel)
 		}
 		held, hframes := eng.heldLoss()
+		trainLoss, heldLoss := 0.0, 0.0
+		if epochFrames > 0 {
+			trainLoss = epochLoss / float64(epochFrames)
+		}
+		if hframes > 0 {
+			heldLoss = held / float64(hframes)
+		}
 		stats := SGDEpochStats{
 			Epoch:        epoch,
-			TrainLoss:    epochLoss / float64(epochFrames),
-			HeldOutLoss:  held / float64(hframes),
+			TrainLoss:    trainLoss,
+			HeldOutLoss:  heldLoss,
 			LearningRate: lr,
 		}
 		res.Epochs = append(res.Epochs, stats)

@@ -226,6 +226,17 @@ func SpliceFrames(utts []*Utterance, featDim, context int) (x *tensor.Matrix, y 
 	return x, y
 }
 
+// ShuffleUtterances permutes utts in place, deterministically in the
+// explicit rng (seed it from configuration). It randomizes utterance
+// order ahead of partitioning or splitting without ever touching the
+// global math/rand source, so two runs with the same seed shuffle — and
+// therefore shard — identically.
+func ShuffleUtterances(rng *rand.Rand, utts []*Utterance) {
+	rng.Shuffle(len(utts), func(i, j int) {
+		utts[i], utts[j] = utts[j], utts[i]
+	})
+}
+
 // SampleUtterances returns approximately fraction of utts chosen without
 // replacement, deterministically in rng, always at least one utterance.
 // The HF algorithm draws such a sample (1–3% of the data) for each round

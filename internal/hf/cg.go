@@ -219,6 +219,7 @@ func applyPrecond(precond, r, z tensor.Vector) {
 		return
 	}
 	for i := range r {
+		//lint:ignore divguard CGMinimize panics on any non-positive preconditioner entry at entry
 		z[i] = r[i] / precond[i]
 	}
 }

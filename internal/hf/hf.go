@@ -76,6 +76,12 @@ type Config struct {
 	// core.TelemetryJSONL). Both hooks fire once per outer iteration,
 	// accepted or rejected.
 	Telemetry func(IterStats)
+	// Hash, when non-nil, receives FNV hashes of the optimizer's float
+	// state each iteration (gradient, CG result, accepted θ, and the
+	// scalar decisions; every CG curvature application too under the
+	// determinism build tag). core.ReplayVerify diffs two runs' streams
+	// to certify bit-reproducibility; see DESIGN.md, "Determinism".
+	Hash *check.HashStream
 }
 
 // emit delivers one iteration's statistics to the configured hooks.
@@ -164,11 +170,18 @@ func Optimize(obj Objective, cfg Config) Result {
 			check.Dims("hf.gradient", len(g), n)
 			check.Finite("hf.gradient", g)
 		}
+		cfg.Hash.RecordVec(iter, "gradient", g)
 		obj.NewCurvatureSample(iter)
 		lam := lambda // capture for the closure
 		apply := func(v, out tensor.Vector) {
 			obj.GNProduct(v, out)
 			out.AddScaled(float32(lam), v)
+			if check.Replay {
+				// Fine-grained replay: hash every curvature application,
+				// pinning a divergence to the exact CG step.
+				cfg.Hash.RecordVec(iter, "cg_apply_v", v)
+				cfg.Hash.RecordVec(iter, "cg_apply_out", out)
+			}
 		}
 		cgOpts := cfg.CG
 		if cfg.UsePreconditioner {
@@ -178,6 +191,7 @@ func Optimize(obj Objective, cfg Config) Result {
 		}
 		cg := CGMinimize(apply, g, d0, cgOpts)
 		res.TotalCGIters += cg.Iters
+		cfg.Hash.RecordVec(iter, "cg_final", cg.Final())
 
 		stats := IterStats{Iter: iter, Lambda: lambda, CGIters: cg.Iters, GradNorm: g.Norm2()}
 
@@ -207,6 +221,7 @@ func Optimize(obj Objective, cfg Config) Result {
 			d0.Zero()
 			stats.Accepted = false
 			stats.Loss = lossPrev
+			cfg.Hash.RecordScalars(iter, "reject", lambda, lossBest)
 			res.Iters = append(res.Iters, stats)
 			cfg.emit(stats)
 			consecutiveRejects++
@@ -259,6 +274,8 @@ func Optimize(obj Objective, cfg Config) Result {
 		// Accept: θ ← θ + α·d_best, d0 ← β·d_N, Lprev ← L(θ).
 		theta.AddScaled(float32(alpha), d)
 		obj.SetParams(theta)
+		cfg.Hash.RecordVec(iter, "theta", theta)
+		cfg.Hash.RecordScalars(iter, "accept", float64(best), alpha, lambda, lossNew)
 		copy(d0, cg.Final())
 		d0.Scale(float32(cfg.Beta))
 		improvement := (lossPrev - lossNew) / math.Abs(lossPrev)

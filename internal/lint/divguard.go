@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DivGuard flags floating-point divisions whose denominator is a
+// computed variable with no zero/NaN guard anywhere in the enclosing
+// function. In the HF trainer the denominators are reduced or
+// accumulated quantities — frame counts summed over workers, the
+// quadratic-model value in the ρ = Δactual/Δpredicted damping update,
+// line-search ratios, preconditioner diagonals — and a zero slipping
+// through produces an Inf/NaN that a later reduction broadcasts to
+// every rank (the second-order fragility Martens 2010 warns about).
+//
+// Heuristic: the denominator (after stripping parentheses, float
+// conversions and math.Abs) must be a plain variable, field or index
+// expression; the division is considered guarded when the same
+// expression appears in any comparison or math.IsNaN/IsInf call in the
+// function (covering `if n > 0 { ... }` guards and `if n < 1 { n = 1 }`
+// clamps alike), or when the denominator carries a nonzero additive
+// epsilon (`x / (d + 1e-8)`). Constant denominators are exempt.
+// Divisions whose safety is an invariant established elsewhere must say
+// so with //lint:ignore divguard and a reason.
+type DivGuard struct{}
+
+// Name implements Analyzer.
+func (DivGuard) Name() string { return "divguard" }
+
+// Doc implements Analyzer.
+func (DivGuard) Doc() string {
+	return "float division by a computed value with no zero/NaN guard in the " +
+		"enclosing function; guard the denominator, add an epsilon, or justify " +
+		"with //lint:ignore divguard"
+}
+
+// Run implements Analyzer.
+func (d DivGuard) Run(p *Package) []Finding {
+	if !inNumericScope(p, d.Name()) {
+		return nil
+	}
+	var out []Finding
+	p.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.QUO || !p.isFloat(bin) {
+			return true
+		}
+		den := p.stripDenominator(bin.Y)
+		if p.isConst(den) {
+			return true
+		}
+		// x / (d + eps): an additive constant is the epsilon idiom.
+		if sum, ok := den.(*ast.BinaryExpr); ok && (sum.Op == token.ADD || sum.Op == token.SUB) {
+			if p.isConst(sum.X) || p.isConst(sum.Y) {
+				return true
+			}
+		}
+		switch den.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			return true // call results etc.: not trackable, stay silent
+		}
+		body := enclosingFuncBody(stack)
+		if body == nil {
+			return true
+		}
+		keys := map[string]bool{
+			types.ExprString(den):   true,
+			types.ExprString(bin.Y): true,
+		}
+		if p.denominatorGuarded(body, keys) {
+			return true
+		}
+		out = append(out, p.finding(d, SevWarn, bin,
+			"division by %s, a computed float with no zero/NaN guard in this function; "+
+				"guard it, add an epsilon, or //lint:ignore divguard with the invariant",
+			types.ExprString(den)))
+		return true
+	})
+	return out
+}
+
+// stripDenominator unwraps parentheses, numeric conversions and math.Abs
+// down to the quantity whose zeroness matters.
+func (p *Package) stripDenominator(e ast.Expr) ast.Expr {
+	for {
+		e = unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+			e = call.Args[0] // float64(n), float32(n), ...
+			continue
+		}
+		if fn := p.calleeFunc(call); fn != nil && pkgPath(fn) == "math" && fn.Name() == "Abs" {
+			e = call.Args[0]
+			continue
+		}
+		return e
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// denominatorGuarded reports whether any comparison or non-finiteness
+// test over one of keys appears in body.
+func (p *Package) denominatorGuarded(body *ast.BlockStmt, keys map[string]bool) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			switch v.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if keys[types.ExprString(v.X)] || keys[types.ExprString(v.Y)] {
+					guarded = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			fn := p.calleeFunc(v)
+			if fn == nil || pkgPath(fn) != "math" {
+				return true
+			}
+			switch fn.Name() {
+			case "IsNaN", "IsInf", "Signbit":
+				for _, arg := range v.Args {
+					if keys[types.ExprString(arg)] {
+						guarded = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}

@@ -84,6 +84,10 @@ func Analyzers() []Analyzer {
 		HotPathAlloc{},
 		ObsNilGuard{},
 		CommCheck{},
+		MapOrderFloat{},
+		ReduceOrder{},
+		RngSource{},
+		DivGuard{},
 	}
 }
 

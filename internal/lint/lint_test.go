@@ -18,6 +18,10 @@ var fixtureDirs = []string{
 	"hotpathalloc",
 	"obsnilguard",
 	"commcheck",
+	"maporderfloat",
+	"reduceorder",
+	"rngsource",
+	"divguard",
 	"clean",
 }
 
@@ -96,8 +100,31 @@ func TestFixtureFindings(t *testing.T) {
 			"125:10 commcheck warn",  // collective under Rank() conditional
 			"129:13 commcheck warn",  // collective under rank-derived conditional
 		},
-		"clean.go":      nil,
-		"clean_comm.go": nil,
+		"maporderfloat.go": {
+			"10:3 maporderfloat error", // float accumulation in map order
+			"24:3 maporderfloat error", // float-carrying slice built in map order
+			"38:3 maporderfloat error", // accumulation through a local helper
+		},
+		"reduceorder.go": {
+			"10:3 reduceorder error", // total += <-ch in a counted loop
+			"19:3 reduceorder error", // range-over-channel fold
+			"35:3 reduceorder error", // fold of a received struct's field
+		},
+		"rngsource.go": {
+			"13:9 rngsource error",  // rand.Float64 (global source)
+			"18:9 rngsource error",  // rand.Perm (global source)
+			"23:2 rngsource error",  // rand.Seed (global reseed)
+			"28:33 rngsource error", // time-derived seed
+		},
+		"divguard.go": {
+			"15:9 divguard warn", // sum / n, both accumulated
+			"21:9 divguard warn", // rho shape: actual / predicted
+			"27:9 divguard warn", // indexed preconditioner entry
+			"32:9 divguard warn", // denominator under math.Abs
+		},
+		"clean.go":       nil,
+		"clean_comm.go":  nil,
+		"clean_num.go":   nil,
 	}
 
 	got := map[string][]string{}

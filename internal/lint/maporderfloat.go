@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderFloat flags floating-point state built up in map iteration
+// order: Go randomizes `range` over a map per iteration, so a float
+// accumulation (or a float-carrying slice constructed by append) inside
+// such a loop produces run-to-run different rounding — exactly the
+// reassociation nondeterminism the trainer's fixed-order reduction trees
+// exist to eliminate. A single nondeterministic sum in an exported
+// metric or a workload total breaks byte-identical reports; one in a
+// compute path changes CG trajectories.
+//
+// The sanctioned form is to collect the keys, sort them, and iterate the
+// sorted slice. Per-key accumulation into state declared inside the loop
+// body stays silent (each key is touched once, so order cannot matter),
+// as does integer counting and building key lists that are sorted before
+// use.
+//
+// The analyzer also follows one level of dataflow through local helpers:
+// calling a same-package function that compound-accumulates into a
+// *float32/*float64 parameter, with a pointer to loop-external state as
+// the argument, is the same hazard spelled differently.
+type MapOrderFloat struct{}
+
+// Name implements Analyzer.
+func (MapOrderFloat) Name() string { return "maporderfloat" }
+
+// Doc implements Analyzer.
+func (MapOrderFloat) Doc() string {
+	return "float accumulation or float-carrying slice construction inside range " +
+		"over a map; map iteration order is randomized, so sort the keys and " +
+		"iterate the sorted slice"
+}
+
+// Run implements Analyzer.
+func (m MapOrderFloat) Run(p *Package) []Finding {
+	var out []Finding
+	helpers := p.floatAccumHelpers()
+
+	p.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !p.isMapType(rng.X) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			switch v := inner.(type) {
+			case *ast.AssignStmt:
+				if p.isCompoundFloat(v) && p.declaredOutside(v.Lhs[0], rng) {
+					out = append(out, p.finding(m, SevError, v,
+						"float accumulation into %s inside range over map %s; iteration order is randomized — iterate sorted keys",
+						types.ExprString(v.Lhs[0]), types.ExprString(rng.X)))
+					return true
+				}
+				if tgt := p.appendTarget(v); tgt != nil && p.declaredOutside(tgt, rng) {
+					if sl, ok := p.Info.TypeOf(tgt).Underlying().(*types.Slice); ok && carriesFloat(sl.Elem(), 0) {
+						out = append(out, p.finding(m, SevError, v,
+							"float-carrying slice %s built in map iteration order (range over %s); iterate sorted keys",
+							types.ExprString(tgt), types.ExprString(rng.X)))
+					}
+				}
+			case *ast.CallExpr:
+				fn := p.calleeFunc(v)
+				if fn == nil || !helpers[fn] {
+					return true
+				}
+				for _, arg := range v.Args {
+					target := unparen(arg)
+					if ue, ok := target.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						target = ue.X
+					}
+					if id := rootIdent(target); id != nil && p.declaredOutside(target, rng) {
+						out = append(out, p.finding(m, SevError, v,
+							"%s accumulates into *%s inside range over map %s; iteration order is randomized — iterate sorted keys",
+							fn.Name(), types.ExprString(target), types.ExprString(rng.X)))
+						break
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// floatAccumHelpers classifies this package's functions that
+// compound-accumulate into a pointer-to-float parameter — the local
+// aggregation helpers the map-order analyzer follows dataflow through.
+func (p *Package) floatAccumHelpers() map[*types.Func]bool {
+	helpers := map[*types.Func]bool{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			// Pointer-to-float parameters this helper could fold into.
+			params := map[types.Object]bool{}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						obj := p.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if ptr, ok := obj.Type().Underlying().(*types.Pointer); ok {
+							if b, ok := ptr.Elem().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+								params[obj] = true
+							}
+						}
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || !p.isCompoundFloat(as) {
+					return true
+				}
+				if id := rootIdent(as.Lhs[0]); id != nil && params[p.objOf(id)] {
+					helpers[fn] = true
+				}
+				return true
+			})
+		}
+	}
+	return helpers
+}

@@ -1,0 +1,187 @@
+package lint
+
+// This file holds the helpers shared by the numcheck analyzer family
+// (maporderfloat, reduceorder, rngsource, divguard). The four analyzers
+// guard the numerical layers against the hazards that silently break the
+// trainer's bit-reproducibility contract: float accumulation in map
+// iteration order, channel-arrival-order reductions, global or
+// time-seeded RNG in compute paths, and unguarded divisions by reduced
+// quantities. See DESIGN.md, "Determinism".
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// numericPackages are the compute packages the scoped numcheck analyzers
+// (rngsource, divguard) apply to: everything that touches training math.
+// The map-order and reduce-order analyzers run module-wide instead,
+// because a nondeterministic float path anywhere (obs export, workload
+// totals) breaks run-to-run byte identity.
+var numericPackages = []string{
+	"repro/internal/nn",
+	"repro/internal/hf",
+	"repro/internal/core",
+	"repro/internal/blas",
+	"repro/internal/seq",
+}
+
+// inNumericScope reports whether p is one of the numerical compute
+// packages, or the analyzer's own golden fixture (fixture packages load
+// under synthetic fixture/<name> import paths).
+func inNumericScope(p *Package, analyzer string) bool {
+	if p.ImportPath == "fixture/"+analyzer || p.ImportPath == "fixture/clean" {
+		return true
+	}
+	for _, np := range numericPackages {
+		if p.ImportPath == np || strings.HasPrefix(p.ImportPath, np+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isMapType reports whether e has map type.
+func (p *Package) isMapType(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isChanType reports whether e has channel type.
+func (p *Package) isChanType(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// carriesFloat reports whether t is or contains floating-point state —
+// a float basic type, or a struct/array/slice/pointer reaching one. A
+// slice of such elements built in nondeterministic order changes float
+// results downstream, unlike e.g. a []string key list that is sorted
+// before use.
+func carriesFloat(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesFloat(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Slice:
+		return carriesFloat(u.Elem(), depth+1)
+	case *types.Array:
+		return carriesFloat(u.Elem(), depth+1)
+	case *types.Pointer:
+		return carriesFloat(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the
+// base identifier of an lvalue (x, x.f, x[i], *x, ...), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves the object an identifier denotes (use or def).
+func (p *Package) objOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// declaredOutside reports whether the lvalue rooted at e refers to a
+// variable declared outside node n — i.e. state that survives n, so
+// mutating it in n's (nondeterministic) iteration order is observable.
+// Unresolvable roots conservatively count as outside.
+func (p *Package) declaredOutside(e ast.Expr, n ast.Node) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return true
+	}
+	obj := p.objOf(id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < n.Pos() || obj.Pos() >= n.End()
+}
+
+// isCompoundFloat reports whether as is a compound float accumulation
+// (+=, -=, *=, /= with a floating-point left-hand side).
+func (p *Package) isCompoundFloat(as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	return len(as.Lhs) == 1 && p.isFloat(as.Lhs[0])
+}
+
+// appendTarget returns the slice variable being grown when as has the
+// form x = append(x, ...), or nil.
+func (p *Package) appendTarget(as *ast.AssignStmt) ast.Expr {
+	if (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := p.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if types.ExprString(as.Lhs[0]) != types.ExprString(call.Args[0]) {
+		return nil
+	}
+	return as.Lhs[0]
+}
+
+// exprContains reports whether pred holds for any node of e.
+func exprContains(e ast.Expr, pred func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n != nil && pred(n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReduceOrder flags goroutine fan-in that folds worker results into a
+// float accumulator in channel-arrival order: `total += <-ch` in a loop,
+// or `for r := range ch { total += r.x }`. Arrival order depends on the
+// scheduler, so the float sum reassociates differently on every run —
+// the software analogue of a nondeterministic MPI reduction, and the
+// failure mode the paper's fixed-order collectives (and internal/mpi's
+// deterministic tree reduction) are designed out of.
+//
+// The sanctioned fan-in is a by-index merge: each worker writes its
+// result to results[i] (disjoint slots), the loop only counts
+// completions, and a final sequential pass folds results[0..n) in fixed
+// index order. internal/blas's blocked GEMM and internal/mpi's tree
+// reduction are the reference implementations.
+type ReduceOrder struct{}
+
+// Name implements Analyzer.
+func (ReduceOrder) Name() string { return "reduceorder" }
+
+// Doc implements Analyzer.
+func (ReduceOrder) Doc() string {
+	return "float accumulation in channel-arrival order (worker fan-in); " +
+		"merge into results[i] by worker index and reduce sequentially instead"
+}
+
+// Run implements Analyzer.
+func (r ReduceOrder) Run(p *Package) []Finding {
+	var out []Finding
+	flagged := map[ast.Node]bool{}
+
+	p.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		var body *ast.BlockStmt
+		recvVars := map[types.Object]bool{}
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			if !p.isChanType(loop.X) {
+				return true
+			}
+			body = loop.Body
+			// Ranging a channel binds each received value to Key.
+			if id, ok := loop.Key.(*ast.Ident); ok {
+				if obj := p.objOf(id); obj != nil {
+					recvVars[obj] = true
+				}
+			}
+		default:
+			return true
+		}
+
+		// Pass 1: variables assigned from channel receives in this loop.
+		ast.Inspect(body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			fromRecv := false
+			for _, rhs := range as.Rhs {
+				if exprContains(rhs, isRecvExpr) {
+					fromRecv = true
+				}
+			}
+			if !fromRecv {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := p.objOf(id); obj != nil {
+						recvVars[obj] = true
+					}
+				}
+			}
+			return true
+		})
+
+		// Pass 2: float accumulation of received values into state that
+		// outlives the loop.
+		ast.Inspect(body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok || flagged[as] || !p.isCompoundFloat(as) || !p.declaredOutside(as.Lhs[0], n) {
+				return true
+			}
+			usesRecv := exprContains(as.Rhs[0], func(m ast.Node) bool {
+				if isRecvExpr(m) {
+					return true
+				}
+				id, ok := m.(*ast.Ident)
+				return ok && recvVars[p.objOf(id)]
+			})
+			if !usesRecv {
+				return true
+			}
+			flagged[as] = true
+			out = append(out, p.finding(r, SevError, as,
+				"float accumulator %s folds channel results in arrival order; "+
+					"write each worker's result to results[i] and reduce by index",
+				types.ExprString(as.Lhs[0])))
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// isRecvExpr reports whether n is a channel receive <-ch.
+func isRecvExpr(n ast.Node) bool {
+	ue, ok := n.(*ast.UnaryExpr)
+	return ok && ue.Op == token.ARROW
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RngSource flags the global math/rand source and time-derived seeds in
+// the numerical compute packages (internal/nn, hf, core, blas, seq).
+// Gauss-Newton curvature sampling, Glorot initialization and SGD
+// shuffling must all flow from an explicit *rand.Rand seeded from
+// config: the package-level math/rand functions share one process-wide
+// source, so any other goroutine's draw (or a test running in parallel)
+// perturbs the stream, and a time-derived seed makes two "identical"
+// runs start from different parameters — either one silently defeats the
+// replay gate (core.ReplayVerify) and the paper's reproducibility claim.
+//
+// Allowed: rand.New, rand.NewSource and rand.NewZipf (constructors that
+// feed or consume an explicit source), and all methods on a *rand.Rand
+// value.
+type RngSource struct{}
+
+// Name implements Analyzer.
+func (RngSource) Name() string { return "rngsource" }
+
+// Doc implements Analyzer.
+func (RngSource) Doc() string {
+	return "global math/rand draw or time-derived seed in a compute package; " +
+		"plumb an explicit *rand.Rand seeded from config"
+}
+
+// randAllowed lists the package-level math/rand functions that construct
+// or feed explicit sources rather than drawing from the global one.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Run implements Analyzer.
+func (r RngSource) Run(p *Package) []Finding {
+	if !inNumericScope(p, r.Name()) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			path := pkgPath(fn)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the sanctioned form
+			}
+			if !randAllowed[fn.Name()] {
+				out = append(out, p.finding(r, SevError, call,
+					"rand.%s draws from the process-wide global source; "+
+						"use an explicit *rand.Rand seeded from config", fn.Name()))
+				return true
+			}
+			// Constructor: reject wall-clock-derived seeds, which differ
+			// between two otherwise identical runs. Nested rand
+			// constructors are pruned — they are visited on their own.
+			for _, arg := range call.Args {
+				if timeCall := findTimeCall(p, arg); timeCall != nil {
+					out = append(out, p.finding(r, SevError, timeCall,
+						"time-derived seed in rand.%s; seed from config so two runs with "+
+							"the same configuration draw the same stream", fn.Name()))
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// findTimeCall returns the first call to a time-package function or
+// method inside e, skipping subtrees rooted at nested math/rand
+// constructor calls (they are reported at their own position).
+func findTimeCall(p *Package, e ast.Expr) (found *ast.CallExpr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		switch pkgPath(fn) {
+		case "math/rand", "math/rand/v2":
+			return false
+		case "time":
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

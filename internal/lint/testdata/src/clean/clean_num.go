@@ -1,0 +1,76 @@
+// Sanctioned forms of the shapes the numcheck analyzers (maporderfloat,
+// reduceorder, rngsource, divguard) inspect; this file must stay silent.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// sumSorted is the sanctioned map fold: collect the keys (a non-float
+// slice may be built in map order), sort them, and accumulate over the
+// sorted slice.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// countFrames shows integer accumulation in map order: order-free.
+func countFrames(m map[string]int) int {
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	return total
+}
+
+// indexMerge is the sanctioned fan-in: workers write disjoint slots, the
+// receive loop only counts completions, and the fold runs in index order.
+func indexMerge(parts [][]float64) float64 {
+	results := make([]float64, len(parts))
+	done := make(chan int, len(parts))
+	for i := range parts {
+		go func(i int) {
+			var s float64
+			for _, v := range parts[i] {
+				s += v
+			}
+			results[i] = s
+			done <- i
+		}(i)
+	}
+	for range parts {
+		<-done
+	}
+	var total float64
+	for _, v := range results {
+		total += v
+	}
+	return total
+}
+
+// seededDraw threads an explicit source seeded from configuration.
+func seededDraw(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// guardedMean divides an accumulated sum by a guarded frame count.
+func guardedMean(sum float64, frames int) float64 {
+	if frames <= 0 {
+		return 0
+	}
+	return sum / float64(frames)
+}

@@ -1,0 +1,67 @@
+// Package divguard is the seeded-bad fixture for the divguard analyzer:
+// float divisions by computed denominators with no zero/NaN guard.
+package divguard
+
+import "math"
+
+// mean divides an accumulated sum by an accumulated count with no guard:
+// an empty input yields 0/0 = NaN, which a reduction then broadcasts.
+func mean(xs []float64) float64 {
+	var sum, n float64
+	for _, x := range xs {
+		sum += x
+		n++
+	}
+	return sum / n
+}
+
+// rho is the damping-update shape: actual/predicted improvement with an
+// unguarded model-value denominator.
+func rho(actual, predicted float64) float64 {
+	return actual / predicted
+}
+
+// precondScale divides by an indexed diagonal entry with no positivity
+// invariant in sight.
+func precondScale(r, m []float64, i int) float64 {
+	return r[i] / m[i]
+}
+
+// absRatio strips math.Abs and still finds the unguarded denominator.
+func absRatio(a, b float64) float64 {
+	return a / math.Abs(b)
+}
+
+// safeMean is the sanctioned negative case: a comparison guard.
+func safeMean(sum, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// clamped is guarded by a clamp (the comparison counts as the guard).
+func clamped(x float64, frames int) float64 {
+	if frames < 1 {
+		frames = 1
+	}
+	return x / float64(frames)
+}
+
+// damped carries an additive epsilon in the denominator.
+func damped(x, d float64) float64 {
+	return x / (d + 1e-8)
+}
+
+// nanGuarded tests the denominator for non-finiteness before dividing.
+func nanGuarded(a, b float64) float64 {
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		return 0
+	}
+	return a / b
+}
+
+// half divides by a constant: nothing to guard.
+func half(x float64) float64 {
+	return x / 2
+}

@@ -1,0 +1,64 @@
+// Package maporderfloat is the seeded-bad fixture for the maporderfloat
+// analyzer: float state built in map iteration order.
+package maporderfloat
+
+// sumValues accumulates a float across a map range: iteration order is
+// randomized, so the rounding differs run to run.
+func sumValues(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type sample struct {
+	Name string
+	Val  float64
+}
+
+// collect builds a float-carrying slice in map order.
+func collect(m map[string]float64) []sample {
+	var out []sample
+	for k, v := range m {
+		out = append(out, sample{Name: k, Val: v})
+	}
+	return out
+}
+
+// accumulate is a local aggregation helper folding into a float pointer.
+func accumulate(dst *float64, v float64) {
+	*dst += v
+}
+
+// sumViaHelper reaches the accumulator through one level of dataflow.
+func sumViaHelper(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		accumulate(&total, v)
+	}
+	return total
+}
+
+// perKey is a negative case: per-key accumulation into loop-local state
+// touches each key once, so map order cannot change the result.
+func perKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// countKeys is a negative case: integer counting is order-free.
+func countKeys(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+// Package reduceorder is the seeded-bad fixture for the reduceorder
+// analyzer: goroutine fan-in folded in channel-arrival order.
+package reduceorder
+
+// fanInRecv folds worker results as they arrive: `total += <-ch` sums in
+// scheduler order, reassociating the float addition differently per run.
+func fanInRecv(parts [][]float64, ch chan float64) float64 {
+	var total float64
+	for i := 0; i < len(parts); i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// fanInRange does the same through range-over-channel.
+func fanInRange(ch chan float64) float64 {
+	var total float64
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+type result struct {
+	idx int
+	val float64
+}
+
+// fanInStruct receives into a local and folds a field of it — the same
+// arrival-order hazard one assignment removed.
+func fanInStruct(ch chan result, n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		r := <-ch
+		total += r.val
+	}
+	return total
+}
+
+// merged is the sanctioned negative case: each worker writes results[i]
+// (disjoint slots), the loop only counts completions, and the final fold
+// runs sequentially in index order.
+func merged(parts [][]float64) float64 {
+	results := make([]float64, len(parts))
+	done := make(chan int, len(parts))
+	for i := range parts {
+		go func(i int) {
+			var s float64
+			for _, v := range parts[i] {
+				s += v
+			}
+			results[i] = s
+			done <- i
+		}(i)
+	}
+	for range parts {
+		<-done
+	}
+	var total float64
+	for _, v := range results {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,36 @@
+// Package rngsource is the seeded-bad fixture for the rngsource
+// analyzer: global math/rand draws and time-derived seeds.
+package rngsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw samples from the process-wide source: any concurrent draw
+// elsewhere perturbs the stream.
+func globalDraw() float64 {
+	return rand.Float64()
+}
+
+// globalPerm shuffles through the global source.
+func globalPerm(n int) []int {
+	return rand.Perm(n)
+}
+
+// reseed mutates the global source under everyone's feet.
+func reseed() {
+	rand.Seed(42)
+}
+
+// timeSeeded makes two "identical" runs start from different streams.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// seeded is the sanctioned negative case: an explicit source seeded from
+// configuration.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

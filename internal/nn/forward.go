@@ -84,6 +84,7 @@ func Softmax(logits *tensor.Matrix) *tensor.Matrix {
 			dst[j] = float32(e)
 			sum += e
 		}
+		//lint:ignore divguard after max subtraction the max element contributes exp(0)=1, so sum ≥ 1
 		inv := float32(1 / sum)
 		for j := range dst {
 			dst[j] *= inv

@@ -298,13 +298,18 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, c := range r.ctrs {
-		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	// Emit every instrument class in sorted-name order: building the
+	// snapshot by ranging over the maps directly would assemble the
+	// float-carrying slices in randomized map order (the maporderfloat
+	// hazard), and repeated exports must be byte-identical.
+	for _, name := range sortedKeys(r.ctrs) {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: r.ctrs[name].Value()})
 	}
-	for name, g := range r.gaugs {
-		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	for _, name := range sortedKeys(r.gaugs) {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: r.gaugs[name].Value()})
 	}
-	for name, h := range r.hists {
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
 		hs := HistSnap{
 			Name: name, Count: h.Count(), Sum: h.Sum(),
 			Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
@@ -317,10 +322,18 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hs)
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
+}
+
+// sortedKeys returns m's keys in sorted order, the deterministic
+// iteration every exported snapshot is built with.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // WriteJSON writes the registry snapshot as indented JSON; nil-safe.

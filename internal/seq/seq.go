@@ -79,6 +79,7 @@ func Estimate(utts []*corpus.Utterance, states int) Transitions {
 		initTotal += c
 	}
 	for s := range tr.Init {
+		//lint:ignore divguard add-one smoothing makes initTotal ≥ states ≥ 1
 		tr.Init[s] = math.Log(initCounts[s] / initTotal)
 	}
 	for s := range counts {
@@ -88,6 +89,7 @@ func Estimate(utts []*corpus.Utterance, states int) Transitions {
 		}
 		tr.Trans[s] = make([]float64, states)
 		for j := range counts[s] {
+			//lint:ignore divguard add-one smoothing makes total ≥ states ≥ 1
 			tr.Trans[s][j] = math.Log(counts[s][j] / total)
 		}
 	}

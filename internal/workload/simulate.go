@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/bgq"
 	"repro/internal/sim"
@@ -33,11 +34,23 @@ func (r RankReport) phase(name string) *PhaseReport {
 	return p
 }
 
+// phaseNames returns the report's function names in sorted order — the
+// deterministic iteration every float fold over a RankReport must use,
+// so totals are bit-identical run to run (maporderfloat).
+func (r RankReport) phaseNames() []string {
+	names := make([]string, 0, len(r))
+	for name := range r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // TotalMPI sums collective and point-to-point time across functions.
 func (r RankReport) TotalMPI() (coll, p2p float64) {
-	for _, p := range r {
-		coll += p.CollSec
-		p2p += p.P2PSec
+	for _, name := range r.phaseNames() {
+		coll += r[name].CollSec
+		p2p += r[name].P2PSec
 	}
 	return coll, p2p
 }
@@ -45,8 +58,8 @@ func (r RankReport) TotalMPI() (coll, p2p float64) {
 // TotalCompute sums compute seconds across functions.
 func (r RankReport) TotalCompute() float64 {
 	var s float64
-	for _, p := range r {
-		s += p.ComputeSec
+	for _, name := range r.phaseNames() {
+		s += r[name].ComputeSec
 	}
 	return s
 }
