@@ -1,4 +1,4 @@
-.PHONY: verify lint commcheck numcheck determinism race race-mpi test bench bench_obs
+.PHONY: verify lint commcheck numcheck faultcheck determinism race race-mpi test bench bench_obs bench_fault
 
 # Full gate: compile, vet, the repo-specific static analyzers (including
 # the collective-protocol checker and the determinism/numerical-safety
@@ -7,7 +7,7 @@
 # collective (-tags commcheck), the invariant-checked build of the
 # numeric core, and the bit-reproducible replay gate on both fabrics.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) determinism
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) faultcheck && $(MAKE) determinism
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
@@ -28,6 +28,15 @@ commcheck:
 # use, and unguarded float division. See DESIGN.md, "Determinism".
 numcheck:
 	go run ./cmd/repolint -only maporderfloat,reduceorder,rngsource,divguard
+
+# Fault-tolerance gate: the deprecated-API analyzer (no caller may bypass
+# the Session front door) plus the elastic runtime's fault suite — worker
+# kill mid-CG on both fabrics, surrender budgeting, option validation,
+# fault-schedule round-trips and transport shaping — under the race
+# detector. See DESIGN.md, "Elastic fault tolerance".
+faultcheck:
+	go vet ./... && go run ./cmd/repolint -only deprecatedapi
+	go test -race -run 'TestElastic|TestSession|TestFault|TestRecvTimeout|TestTCPSendWriteDeadline' ./internal/core ./internal/mpi
 
 # Bit-reproducible replay gate: train the same seeded problem twice on
 # each fabric and require byte-identical per-iteration FNV hash streams
@@ -62,3 +71,9 @@ bench:
 # Measure observability overhead on the real trainer; writes BENCH_obs.json.
 bench_obs:
 	go test -bench BenchmarkObsOverhead -benchtime 1x -run '^$$' .
+
+# Measure what surviving a worker kill costs the elastic runtime
+# (eviction + re-shard + rewind vs an uninterrupted run); writes
+# BENCH_fault.json.
+bench_fault:
+	go test -bench BenchmarkFaultEviction -benchtime 1x -run '^$$' .

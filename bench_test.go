@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/hf"
+	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -281,8 +282,12 @@ func BenchmarkRealDistributedHF(b *testing.B) {
 	cfg := hf.Config{MaxIterations: 3, CG: hf.CGOpts{MaxIters: 15, MinIters: 3}}
 	for _, ranks := range []int{2, 3, 5} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			sess, err := core.NewSession(prob, core.WithRanks(ranks))
+			if err != nil {
+				b.Fatal(err)
+			}
 			for i := 0; i < b.N; i++ {
-				if _, err := core.TrainDistributedHF(prob, cfg, ranks, nil); err != nil {
+				if _, err := sess.Run(cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -310,9 +315,13 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	cfg := hf.Config{MaxIterations: 3, CG: hf.CGOpts{MaxIters: 15, MinIters: 3}}
 	run := func(b *testing.B, ob *obs.Observer) time.Duration {
+		sess, err := core.NewSession(prob, core.WithRanks(3), core.WithObserver(ob))
+		if err != nil {
+			b.Fatal(err)
+		}
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.TrainDistributedHFObs(prob, cfg, 3, nil, ob); err != nil {
+			if _, err := sess.Run(cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -344,6 +353,104 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_obs.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFaultEviction measures what surviving a worker death costs the
+// elastic runtime: identical 4-rank runs with and without a kill injected
+// at HF iteration 2, plus the rewind latency and heartbeat RTT telemetry
+// of the faulted run. The comparison is written to BENCH_fault.json.
+func BenchmarkFaultEviction(b *testing.B) {
+	c := corpus.Generate(corpus.Config{
+		Seed: 7, NumUtterances: 40, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
+	})
+	train, held := c.Split(8)
+	prob := core.Problem{
+		Topo:           nn.NewTopology(c.InputDim(), 24, c.NumStates),
+		Train:          train,
+		Heldout:        held,
+		Criterion:      core.CrossEntropy,
+		SampleFraction: 1,
+		Seed:           3,
+	}
+	cfg := hf.Config{MaxIterations: 4, CG: hf.CGOpts{MaxIters: 15, MinIters: 3}}
+	sched, err := mpi.ParseFaultSchedule("kill:rank=2,epoch=2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := core.FaultPolicy{
+		FaultConfig: mpi.FaultConfig{OpDeadline: 5 * time.Second},
+		Backoff:     time.Millisecond,
+		Inject:      sched,
+	}
+
+	run := func(b *testing.B, opts ...core.Option) (time.Duration, *core.MasterResult) {
+		sess, err := core.NewSession(prob, append([]core.Option{core.WithRanks(4)}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res *core.MasterResult
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if res, err = sess.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start) / time.Duration(b.N), res
+	}
+
+	var baseline, faulted time.Duration
+	var faultRes *core.MasterResult
+	ob := &obs.Observer{Metrics: obs.NewRegistry()}
+	b.Run("baseline", func(b *testing.B) {
+		baseline, _ = run(b)
+	})
+	b.Run("eviction", func(b *testing.B) {
+		faulted, faultRes = run(b,
+			core.WithObserver(ob),
+			core.WithFaults(pol),
+			core.WithCheckpoint(core.CheckpointPolicy{Every: 1}),
+		)
+	})
+	if baseline <= 0 || faulted <= 0 || faultRes == nil || faultRes.Fault == nil {
+		return
+	}
+	degradedPct := (float64(faulted)/float64(baseline) - 1) * 100
+	b.ReportMetric(degradedPct, "degraded_pct")
+
+	var rewindMeanNs, heartbeatP50Ns float64
+	var reshardFrames int64
+	if reg := ob.Registry(); reg != nil {
+		snap := reg.Snapshot()
+		for _, h := range snap.Histograms {
+			switch h.Name {
+			case "core.elastic.rewind_ns":
+				rewindMeanNs = h.Mean
+			case "core.elastic.heartbeat_rtt_ns":
+				heartbeatP50Ns = float64(h.P50)
+			}
+		}
+		for _, cnt := range snap.Counters {
+			if cnt.Name == "core.elastic.reshard_frames" {
+				reshardFrames = cnt.Value
+			}
+		}
+	}
+	out, err := json.MarshalIndent(map[string]any{
+		"baseline_ns_per_run": baseline.Nanoseconds(),
+		"faulted_ns_per_run":  faulted.Nanoseconds(),
+		"degraded_pct":        degradedPct,
+		"evictions":           len(faultRes.Fault.Evictions),
+		"final_workers":       faultRes.Fault.FinalWorkers,
+		"rewind_mean_ns":      rewindMeanNs,
+		"heartbeat_p50_ns":    heartbeatP50Ns,
+		"reshard_frames":      reshardFrames,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fault.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

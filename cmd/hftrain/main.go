@@ -6,6 +6,7 @@
 //
 //	hftrain -mode serial   -criterion ce  -utterances 200 -iters 10
 //	hftrain -mode dist     -ranks 5       -criterion sequence
+//	hftrain -mode dist     -ranks 5       -fault-inject "kill:rank=2,epoch=3"
 //	hftrain -mode sgd      -epochs 5
 //	hftrain -trace trace.json -metrics iters.jsonl
 //
@@ -55,6 +56,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write per-HF-iteration telemetry as JSONL to this path")
 	commcheck := flag.Bool("commcheck", false, "dist mode: verify cross-rank collective-protocol conformance on every collective (fails fast on divergence)")
 	commcheckDeadline := flag.Duration("commcheck-deadline", 0, "with -commcheck: per-collective watchdog deadline (0 = default, negative disables)")
+	faultInject := flag.String("fault-inject", "", "dist mode: fault schedule to inject, e.g. \"kill:rank=2,epoch=3; delay:rank=1,epoch=2,d=50ms\" (enables the elastic fault-tolerant runtime)")
+	maxEvictions := flag.Int("max-evictions", 0, "dist mode: worker evictions tolerated before surrendering (enables the elastic runtime; 0 = library default of 2 when elastic, negative = none)")
 	shuffle := flag.Bool("shuffle", false, "shuffle utterances (seeded) before the train/held-out split")
 	replayVerify := flag.Bool("replay-verify", false, "run the training twice per fabric in -transport (comma-separated) and fail unless the per-iteration hash streams are bit-identical")
 	replayJSON := flag.String("replay-json", "", "with -replay-verify: write the replay reports and gate wall time as JSON to this path")
@@ -166,29 +169,44 @@ func main() {
 			log.Printf("checkpoint written to %s", *save)
 		}
 	case "dist":
-		var res *core.MasterResult
-		var err error
-		var chk *mpi.CheckConfig
+		fabric, err := core.ParseFabric(*transport)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := []core.Option{
+			core.WithRanks(*ranks),
+			core.WithFabric(fabric),
+			core.WithObserver(ob),
+		}
 		if *commcheck {
-			chk = &mpi.CheckConfig{Deadline: *commcheckDeadline, Obs: ob}
+			opts = append(opts, core.WithCheck(mpi.CheckConfig{Deadline: *commcheckDeadline, Obs: ob}))
 		}
-		switch *transport {
-		case "inproc":
-			if chk != nil {
-				res, err = core.TrainDistributedHFChecked(prob, hfCfg, *ranks, nil, ob, *chk)
-			} else {
-				res, err = core.TrainDistributedHFObs(prob, hfCfg, *ranks, nil, ob)
+		if *faultInject != "" || *maxEvictions != 0 {
+			pol := core.FaultPolicy{MaxEvictions: *maxEvictions}
+			if *faultInject != "" {
+				sched, err := mpi.ParseFaultSchedule(*faultInject)
+				if err != nil {
+					log.Fatal(err)
+				}
+				pol.Inject = sched
 			}
-		case "tcp":
-			res, err = trainOverTCP(prob, hfCfg, *ranks, ob, chk)
-		default:
-			log.Fatalf("unknown transport %q (want inproc, tcp)", *transport)
+			opts = append(opts, core.WithFaults(pol))
+			// Rewind checkpoints every iteration; mirror to -save if set.
+			opts = append(opts, core.WithCheckpoint(core.CheckpointPolicy{Every: 1, Path: *save}))
 		}
+		sess, err := core.NewSession(prob, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.Run(hfCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("distributed HF (%s, %d ranks, %s): final held-out loss %.4f, frame accuracy %.1f%%\n",
 			crit, *ranks, *transport, res.HF.FinalLoss, res.HeldOutAccuracy*100)
+		if res.Fault != nil {
+			report.FaultTable(os.Stdout, res.Fault)
+		}
 		if ob != nil {
 			report.HFIterTable(os.Stdout, res.HF.Iters)
 			report.MPITable(os.Stdout, res.MPIProfile)
@@ -225,17 +243,6 @@ func main() {
 		}
 		log.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)", *traceOut)
 	}
-}
-
-// trainOverTCP runs the master and workers over a localhost TCP fabric —
-// the same code path a true multi-process deployment uses, exercised inside
-// one process for convenience. A non-nil chk wraps every rank's comm in
-// the collective-protocol checker.
-func trainOverTCP(prob core.Problem, cfg hf.Config, ranks int, ob *obs.Observer, chk *mpi.CheckConfig) (*core.MasterResult, error) {
-	if chk != nil {
-		return core.TrainDistributedHFTCPChecked(prob, cfg, ranks, nil, ob, *chk)
-	}
-	return core.TrainDistributedHFTCP(prob, cfg, ranks, nil, ob)
 }
 
 // runReplayGate runs core.ReplayVerify on every fabric in the

@@ -47,7 +47,11 @@ func main() {
 	}
 	fmt.Println("\nreal distributed runs (4 ranks):")
 	for _, part := range []corpus.Partitioner{corpus.RoundRobin{}, corpus.SortedGreedy{}} {
-		res, err := core.TrainDistributedHF(prob, hf.Config{MaxIterations: 4}, 4, part)
+		sess, err := core.NewSession(prob, core.WithRanks(4), core.WithPartitioner(part))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.Run(hf.Config{MaxIterations: 4})
 		if err != nil {
 			log.Fatal(err)
 		}

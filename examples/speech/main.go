@@ -48,7 +48,11 @@ func main() {
 		// Distributed HF: 1 master + 3 workers over in-process MPI, with
 		// the paper's sorted-greedy utterance partitioning.
 		start := time.Now()
-		dist, err := core.TrainDistributedHF(prob, hf.Config{MaxIterations: 6}, 4, corpus.SortedGreedy{})
+		sess, err := core.NewSession(prob, core.WithRanks(4), core.WithPartitioner(corpus.SortedGreedy{}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist, err := sess.Run(hf.Config{MaxIterations: 6})
 		if err != nil {
 			log.Fatal(err)
 		}

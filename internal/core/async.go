@@ -89,7 +89,7 @@ func RunAsyncMaster(comm *mpi.Comm, p Problem, cfg AsyncSGDConfig, part corpus.P
 		part = corpus.SortedGreedy{}
 	}
 	cfg = cfg.filled()
-	if err := shipShards(comm, p, part); err != nil {
+	if _, _, err := shipShards(comm, p, part); err != nil {
 		return nil, err
 	}
 
@@ -178,7 +178,7 @@ func RunAsyncWorker(comm *mpi.Comm, cfg AsyncSGDConfig) error {
 		return fmt.Errorf("core: RunAsyncWorker called on rank 0")
 	}
 	cfg = cfg.filled()
-	eng, err := recvShard(comm)
+	eng, _, err := recvShard(comm)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,18 @@ type Checkpoint struct {
 	Iteration int
 	// HeldOutLoss is the held-out loss at the checkpoint.
 	HeldOutLoss float64
+	// Lambda is the post-update HF damping after the checkpointed
+	// iteration — what the next iteration starts from. The elastic
+	// runtime resumes with it as Lambda0 after a rewind. Zero in
+	// checkpoints written before it was recorded (old gob streams decode
+	// it as zero), in which case resumes fall back to the configured
+	// Lambda0.
+	Lambda float64
+	// Dir is the CG warm-start direction after the checkpointed
+	// iteration (β·d_N on accept, zero on reject); with Params and
+	// Lambda it completes the optimizer's cross-iteration state for an
+	// exact resume. Nil in older checkpoints.
+	Dir tensor.Vector
 }
 
 // checkpointMagic guards against decoding unrelated gob streams.

@@ -41,6 +41,15 @@ func fastHF() hf.Config {
 	}
 }
 
+// trainDist is the tests' shorthand for a spawn-mode Session run.
+func trainDist(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, opts ...Option) (*MasterResult, error) {
+	sess, err := NewSession(p, append([]Option{WithRanks(ranks), WithPartitioner(part)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(cfg)
+}
+
 func TestSerialHFReducesCrossEntropyLoss(t *testing.T) {
 	p := testProblem(t, CrossEntropy)
 	obj, err := NewSerialObjective(p)
@@ -86,7 +95,7 @@ func TestDistributedMatchesSerialCrossEntropy(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, ranks := range []int{2, 3, 5} {
-		distRes, err := TrainDistributedHF(p, cfg, ranks, nil)
+		distRes, err := trainDist(p, cfg, ranks, nil)
 		if err != nil {
 			t.Fatalf("ranks=%d: %v", ranks, err)
 		}
@@ -117,7 +126,7 @@ func TestDistributedMatchesSerialSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	distRes, err := TrainDistributedHF(p, cfg, 3, nil)
+	distRes, err := trainDist(p, cfg, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +139,11 @@ func TestDistributedWorkerCountInvariance(t *testing.T) {
 	p := testProblem(t, CrossEntropy)
 	cfg := fastHF()
 	cfg.MaxIterations = 3
-	r2, err := TrainDistributedHF(p, cfg, 2, nil)
+	r2, err := trainDist(p, cfg, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4, err := TrainDistributedHF(p, cfg, 4, nil)
+	r4, err := trainDist(p, cfg, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +156,7 @@ func TestDistributedWithRoundRobinPartitioner(t *testing.T) {
 	p := testProblem(t, CrossEntropy)
 	cfg := fastHF()
 	cfg.MaxIterations = 2
-	res, err := TrainDistributedHF(p, cfg, 3, corpus.RoundRobin{})
+	res, err := trainDist(p, cfg, 3, corpus.RoundRobin{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +168,7 @@ func TestDistributedWithRoundRobinPartitioner(t *testing.T) {
 func TestDistributedSampledCurvatureStillTrains(t *testing.T) {
 	p := testProblem(t, CrossEntropy)
 	p.SampleFraction = 0.2
-	res, err := TrainDistributedHF(p, fastHF(), 3, nil)
+	res, err := trainDist(p, fastHF(), 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +345,7 @@ func TestProblemValidation(t *testing.T) {
 
 func TestTrainDistributedBadRanks(t *testing.T) {
 	p := testProblem(t, CrossEntropy)
-	if _, err := TrainDistributedHF(p, fastHF(), 1, nil); err == nil {
+	if _, err := trainDist(p, fastHF(), 1, nil); err == nil {
 		t.Fatal("expected error for 1 rank")
 	}
 }
@@ -364,7 +373,7 @@ func TestPreconditionedHFSerialAndDistributed(t *testing.T) {
 		t.Fatalf("preconditioned HF did not train: %v", serialRes.FinalLoss)
 	}
 	_ = serialObj
-	distRes, err := TrainDistributedHF(p, cfg, 3, nil)
+	distRes, err := trainDist(p, cfg, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

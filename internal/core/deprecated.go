@@ -1,0 +1,128 @@
+package core
+
+// Deprecated entry points, kept one release as thin shims over the
+// Session API. Each maps an old call shape onto NewSession + Run; none
+// of them gains fault tolerance — pass WithFaults to NewSession for
+// that. The repolint `deprecatedapi` analyzer flags any remaining call
+// sites. Removal is scheduled for the release after next (see
+// CHANGES.md).
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// sessionRun is the common tail of every spawn-mode shim.
+func sessionRun(p Problem, cfg hf.Config, opts ...Option) (*MasterResult, error) {
+	sess, err := NewSession(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(cfg)
+}
+
+// TrainDistributedHF runs master plus workers as goroutines over an
+// in-process fabric (ranks includes the master).
+//
+// Deprecated: use NewSession(p, WithRanks(ranks),
+// WithPartitioner(part)) and Run.
+func TrainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner) (*MasterResult, error) {
+	return sessionRun(p, cfg, WithRanks(ranks), WithPartitioner(part))
+}
+
+// TrainDistributedHFObs is TrainDistributedHF with an observer.
+//
+// Deprecated: use NewSession(p, WithRanks(ranks), WithPartitioner(part),
+// WithObserver(ob)) and Run.
+func TrainDistributedHFObs(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
+	return sessionRun(p, cfg, WithRanks(ranks), WithPartitioner(part), WithObserver(ob))
+}
+
+// TrainDistributedHFChecked is TrainDistributedHFObs with the
+// cross-rank collective-protocol checker enabled on every rank.
+//
+// Deprecated: use NewSession(p, WithRanks(ranks), WithPartitioner(part),
+// WithObserver(ob), WithCheck(chk)) and Run.
+func TrainDistributedHFChecked(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk mpi.CheckConfig) (*MasterResult, error) {
+	return sessionRun(p, cfg, WithRanks(ranks), WithPartitioner(part), WithObserver(ob), WithCheck(chk))
+}
+
+// TrainDistributedHFTCP runs the master and workers over a localhost
+// TCP fabric inside one process.
+//
+// Deprecated: use NewSession(p, WithRanks(ranks),
+// WithFabric(FabricTCP), WithPartitioner(part), WithObserver(ob)) and
+// Run.
+func TrainDistributedHFTCP(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
+	return sessionRun(p, cfg, WithRanks(ranks), WithFabric(FabricTCP), WithPartitioner(part), WithObserver(ob))
+}
+
+// TrainDistributedHFTCPChecked is TrainDistributedHFTCP with the
+// collective-protocol checker enabled on every rank.
+//
+// Deprecated: use NewSession(p, WithRanks(ranks), WithFabric(FabricTCP),
+// WithPartitioner(part), WithObserver(ob), WithCheck(chk)) and Run.
+func TrainDistributedHFTCPChecked(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk mpi.CheckConfig) (*MasterResult, error) {
+	return sessionRun(p, cfg, WithRanks(ranks), WithFabric(FabricTCP), WithPartitioner(part), WithObserver(ob), WithCheck(chk))
+}
+
+// RunMaster drives a distributed HF training run on rank 0 of an
+// externally built communicator.
+//
+// Deprecated: use NewSession(p, WithComm(comm), WithPartitioner(part))
+// and Run.
+func RunMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner) (*MasterResult, error) {
+	return runMasterShim(comm, p, cfg, part, nil)
+}
+
+// RunMasterObs is RunMaster with an observer.
+//
+// Deprecated: use NewSession(p, WithComm(comm), WithPartitioner(part),
+// WithObserver(ob)) and Run.
+func RunMasterObs(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
+	return runMasterShim(comm, p, cfg, part, ob)
+}
+
+// runMasterShim is shared by RunMaster and RunMasterObs — the shims must
+// not call each other or the deprecatedapi analyzer would flag them.
+func runMasterShim(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
+	// Unlike attach-mode Run — which dispatches on rank — the legacy
+	// contract is an error when called off rank 0.
+	if comm.Rank() != 0 {
+		return nil, fmt.Errorf("core: master run on rank %d", comm.Rank())
+	}
+	sess, err := NewSession(p, WithComm(comm), WithPartitioner(part), WithObserver(ob))
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(cfg)
+}
+
+// RunWorker executes the worker command loop on a non-zero rank of an
+// externally built communicator.
+//
+// Deprecated: use NewSession(p, WithComm(comm)) and Run; worker ranks
+// return (nil, nil).
+func RunWorker(comm *mpi.Comm) error {
+	if comm.Rank() == 0 {
+		return fmt.Errorf("core: worker run on rank 0")
+	}
+	return runWorker(comm, nil)
+}
+
+// RunWorkerObs is RunWorker with an observer.
+//
+// Deprecated: use NewSession(p, WithComm(comm), WithObserver(ob)) and
+// Run; worker ranks return (nil, nil).
+func RunWorkerObs(comm *mpi.Comm, ob *obs.Observer) error {
+	if comm.Rank() == 0 {
+		return fmt.Errorf("core: worker run on rank 0")
+	}
+	// The worker loop needs no Problem; the shard arrives on the wire.
+	// Bypass NewSession's master-side validation with the direct loop.
+	return runWorker(comm, ob)
+}

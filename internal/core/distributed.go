@@ -211,24 +211,22 @@ type MasterResult struct {
 	HeldOutAccuracy float64
 	// MPIProfile is the master rank's per-phase communication snapshot.
 	MPIProfile []mpi.PhaseStat
+	// Fault is the elastic runtime's eviction/rewind record; nil when the
+	// run used the classic (non-fault-tolerant) collective protocol.
+	Fault *FaultReport
 }
 
-// RunMaster drives a distributed HF training run from rank 0: it
-// partitions the data, ships shards to workers (load_data), runs the HF
-// optimizer with all heavy computation delegated to the workers, and
-// shuts the workers down. part defaults to the paper's sorted-greedy
-// equal-frame partitioner.
-func RunMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner) (*MasterResult, error) {
-	return RunMasterObs(comm, p, cfg, part, nil)
-}
-
-// RunMasterObs is RunMaster with an observer: phase spans on rank 0,
-// per-collective metrics routed through the communicator, and a
-// per-iteration wall-time histogram ("core.hf.iter_wall_ns"). A nil
-// observer makes it identical to RunMaster.
-func RunMasterObs(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
+// runMaster drives a distributed HF training run from rank 0 over the
+// classic collective protocol: it partitions the data, ships shards to
+// workers (load_data), runs the HF optimizer with all heavy computation
+// delegated to the workers, and shuts the workers down. part defaults to
+// the paper's sorted-greedy equal-frame partitioner. A non-nil observer
+// adds phase spans on rank 0, per-collective metrics routed through the
+// communicator, and a per-iteration wall-time histogram
+// ("core.hf.iter_wall_ns"). Entry point: Session.Run.
+func runMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
 	if comm.Rank() != 0 {
-		return nil, fmt.Errorf("core: RunMaster called on rank %d", comm.Rank())
+		return nil, fmt.Errorf("core: master run on rank %d", comm.Rank())
 	}
 	if comm.Size() < 2 {
 		return nil, fmt.Errorf("core: distributed training needs ≥2 ranks, have %d", comm.Size())
@@ -245,7 +243,7 @@ func RunMasterObs(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitio
 	// load_data: partition utterances over workers and ship each shard
 	// point-to-point, the master-serialized phase of Figures 2/4.
 	sp := ob.Span(0, "load_data")
-	err := shipShards(comm, p, part)
+	_, _, err := shipShards(comm, p, part)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -293,8 +291,10 @@ func RunMasterObs(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitio
 
 // shipShards partitions the problem's data over the workers and sends
 // each worker its gob-encoded shard point-to-point (the load_data phase),
-// shared by the HF and async-SGD masters.
-func shipShards(comm *mpi.Comm, p Problem, part corpus.Partitioner) error {
+// shared by the HF, elastic and async-SGD masters. It returns the train
+// and held-out shard plans (indexed by worker, rank w+1) so the elastic
+// master can re-partition a dead worker's retained shard on eviction.
+func shipShards(comm *mpi.Comm, p Problem, part corpus.Partitioner) ([][]*corpus.Utterance, [][]*corpus.Utterance, error) {
 	workers := comm.Size() - 1
 	trainShards := part.Partition(p.Train.Utts, workers)
 	heldShards := part.Partition(p.Heldout.Utts, workers)
@@ -315,28 +315,18 @@ func shipShards(comm *mpi.Comm, p Problem, part corpus.Partitioner) error {
 		}
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&shard); err != nil {
-			return fmt.Errorf("core: encode shard for worker %d: %w", w+1, err)
+			return nil, nil, fmt.Errorf("core: encode shard for worker %d: %w", w+1, err)
 		}
 		if err := comm.SendBytes(w+1, tagShard, buf.Bytes()); err != nil {
-			return fmt.Errorf("core: send shard to worker %d: %w", w+1, err)
+			return nil, nil, fmt.Errorf("core: send shard to worker %d: %w", w+1, err)
 		}
 	}
-	return nil
+	return trainShards, heldShards, nil
 }
 
-// recvShard receives and decodes this worker's shard and builds its
-// compute engine.
-func recvShard(comm *mpi.Comm) (*engine, error) {
-	comm.SetPhase("load_data")
-	msg, err := comm.RecvBytes(0, tagShard)
-	if err != nil {
-		return nil, fmt.Errorf("core: worker %d receive shard: %w", comm.Rank(), err)
-	}
-	var shard wireShard
-	if err := gob.NewDecoder(bytes.NewReader(msg.Data)).Decode(&shard); err != nil {
-		return nil, fmt.Errorf("core: worker %d decode shard: %w", comm.Rank(), err)
-	}
-	prob := Problem{
+// shardProblem reconstructs the worker-local Problem a shard describes.
+func shardProblem(shard *wireShard) Problem {
+	return Problem{
 		Topo:           nn.NewTopology(shard.Sizes...),
 		Train:          &corpus.Corpus{Utts: shard.TrainUtts, FeatDim: shard.FeatDim, NumStates: shard.NumStates, Context: shard.Context},
 		Heldout:        &corpus.Corpus{Utts: shard.HeldUtts, FeatDim: shard.FeatDim, NumStates: shard.NumStates, Context: shard.Context},
@@ -346,30 +336,47 @@ func recvShard(comm *mpi.Comm) (*engine, error) {
 		BatchFrames:    shard.BatchFrames,
 		Seed:           shard.Seed,
 	}
-	return newEngine(prob, shard.TrainUtts, shard.HeldUtts), nil
 }
 
-// RunWorker executes the worker command loop on a non-zero rank until the
-// master sends opStop. It receives its data shard, then serves gradient,
-// curvature-product and loss requests over collectives.
-func RunWorker(comm *mpi.Comm) error {
-	return RunWorkerObs(comm, nil)
+// engineFromShard builds (or, after a re-shard supplement, rebuilds) the
+// worker's compute engine from its current shard.
+func engineFromShard(shard *wireShard) *engine {
+	return newEngine(shardProblem(shard), shard.TrainUtts, shard.HeldUtts)
 }
 
-// RunWorkerObs is RunWorker with an observer: per-phase spans labelled
-// with this worker's rank, shard-size gauges, and a counter of time
-// spent blocked on the master's command broadcast
-// ("core.worker.<rank>.wait_ns" — the straggler/idle signal of the
-// paper's Figure 5). A nil observer makes it identical to RunWorker.
-func RunWorkerObs(comm *mpi.Comm, ob *obs.Observer) error {
+// recvShard receives and decodes this worker's shard and builds its
+// compute engine. The decoded shard is returned too so the elastic
+// worker can append re-shard supplements and rebuild.
+func recvShard(comm *mpi.Comm) (*engine, *wireShard, error) {
+	comm.SetPhase("load_data")
+	msg, err := comm.RecvBytes(0, tagShard)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: worker %d receive shard: %w", comm.Rank(), err)
+	}
+	var shard wireShard
+	if err := gob.NewDecoder(bytes.NewReader(msg.Data)).Decode(&shard); err != nil {
+		return nil, nil, fmt.Errorf("core: worker %d decode shard: %w", comm.Rank(), err)
+	}
+	return engineFromShard(&shard), &shard, nil
+}
+
+// runWorker executes the classic worker command loop on a non-zero rank
+// until the master sends opStop. It receives its data shard, then serves
+// gradient, curvature-product and loss requests over collectives. A
+// non-nil observer adds per-phase spans labelled with this worker's
+// rank, shard-size gauges, and a counter of time spent blocked on the
+// master's command broadcast ("core.worker.<rank>.wait_ns" — the
+// straggler/idle signal of the paper's Figure 5). Entry point:
+// Session.Run.
+func runWorker(comm *mpi.Comm, ob *obs.Observer) error {
 	rank := comm.Rank()
 	if rank == 0 {
-		return fmt.Errorf("core: RunWorker called on rank 0")
+		return fmt.Errorf("core: worker run on rank 0")
 	}
 	comm.SetMetrics(ob.Registry())
 
 	sp := ob.Span(rank, "load_data")
-	eng, err := recvShard(comm)
+	eng, _, err := recvShard(comm)
 	sp.End()
 	if err != nil {
 		return err
@@ -498,61 +505,3 @@ func workerStep(comm *mpi.Comm, eng *engine, ob *obs.Observer, op, arg float32, 
 	return false, nil
 }
 
-// TrainDistributedHF runs one master and workers−0 worker ranks as
-// goroutines over an in-process fabric: the single-binary equivalent of
-// the paper's MPI job. ranks counts all processes including the master,
-// so ranks=5 means 4 workers.
-func TrainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner) (*MasterResult, error) {
-	return TrainDistributedHFObs(p, cfg, ranks, part, nil)
-}
-
-// TrainDistributedHFObs is TrainDistributedHF with a single observer
-// shared by all in-process ranks, so one trace holds every rank's spans
-// and one registry aggregates all ranks' metrics. A nil observer makes
-// it identical to TrainDistributedHF.
-func TrainDistributedHFObs(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
-	return trainDistributedHF(p, cfg, ranks, part, ob, nil)
-}
-
-// TrainDistributedHFChecked is TrainDistributedHFObs with the cross-rank
-// collective-protocol checker enabled on every rank's comm: each
-// collective carries a conformance header, divergence fails fast with
-// both call sites, and the watchdog deadline in chk turns a silent
-// deadlock into a diagnosis (see DESIGN.md, "Collective protocol").
-func TrainDistributedHFChecked(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk mpi.CheckConfig) (*MasterResult, error) {
-	return trainDistributedHF(p, cfg, ranks, part, ob, &chk)
-}
-
-func trainDistributedHF(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk *mpi.CheckConfig) (*MasterResult, error) {
-	if ranks < 2 {
-		return nil, fmt.Errorf("core: need ≥2 ranks, got %d", ranks)
-	}
-	fabric := mpi.NewInprocFabric(ranks)
-	defer fabric.Close()
-
-	newComm := func(r int) *mpi.Comm {
-		if chk != nil {
-			return mpi.NewCheckedComm(fabric.Transport(r), *chk).Comm
-		}
-		return mpi.NewComm(fabric.Transport(r))
-	}
-	workerErrs := make(chan error, ranks-1)
-	for r := 1; r < ranks; r++ {
-		go func(r int) {
-			workerErrs <- RunWorkerObs(newComm(r), ob)
-		}(r)
-	}
-	res, err := RunMasterObs(newComm(0), p, cfg, part, ob)
-	if err != nil {
-		fabric.Close() // unblock any workers still waiting
-	}
-	for r := 1; r < ranks; r++ {
-		if werr := <-workerErrs; werr != nil && err == nil {
-			err = werr
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}

@@ -16,7 +16,7 @@ import (
 // blocked in Reduce forever.
 func rogueWorker(t *testing.T, comm *mpi.Comm) {
 	t.Helper()
-	eng, err := recvShard(comm)
+	eng, _, err := recvShard(comm)
 	if err != nil {
 		t.Errorf("rogue worker shard: %v", err)
 		return
@@ -63,8 +63,11 @@ func TestMasterUnblocksOnWorkerDeath(t *testing.T) {
 		go func() {
 			defer close(done)
 			// The healthy worker: after the master aborts, its own
-			// watchdog unblocks its command wait.
-			_ = RunWorker(mpi.NewCheckedComm(fabric.Transport(1), chk).Comm)
+			// watchdog unblocks its command wait. Attach-mode session
+			// over an externally checked comm.
+			if sess, err := NewSession(Problem{}, WithComm(mpi.NewCheckedComm(fabric.Transport(1), chk).Comm)); err == nil {
+				_, _ = sess.Run(cfg)
+			}
 		}()
 		rogueWorker(t, mpi.NewCheckedComm(fabric.Transport(2), chk).Comm)
 		<-done
@@ -72,7 +75,12 @@ func TestMasterUnblocksOnWorkerDeath(t *testing.T) {
 
 	masterDone := make(chan error, 1)
 	go func() {
-		_, err := RunMasterObs(mpi.NewCheckedComm(fabric.Transport(0), chk).Comm, p, cfg, nil, nil)
+		sess, err := NewSession(p, WithComm(mpi.NewCheckedComm(fabric.Transport(0), chk).Comm))
+		if err != nil {
+			masterDone <- err
+			return
+		}
+		_, err = sess.Run(cfg)
 		masterDone <- err
 	}()
 
@@ -81,10 +89,14 @@ func TestMasterUnblocksOnWorkerDeath(t *testing.T) {
 		if err == nil {
 			t.Fatal("master returned nil error despite dead worker")
 		}
+		// Either detection path is acceptable: the transport's prompt
+		// peer-down notice (a closed inproc endpoint marks itself down in
+		// every peer mailbox) or, if the death raced past it, the
+		// commcheck watchdog/protocol diagnosis.
 		var werr *mpi.WatchdogError
 		var perr *mpi.ProtocolError
-		if !errors.As(err, &werr) && !errors.As(err, &perr) {
-			t.Fatalf("master err = %v, want commcheck watchdog or protocol error", err)
+		if !errors.As(err, &werr) && !errors.As(err, &perr) && !errors.Is(err, mpi.ErrPeerDown) {
+			t.Fatalf("master err = %v, want peer-down, commcheck watchdog or protocol error", err)
 		}
 	case <-time.After(20 * time.Second):
 		t.Fatal("master still blocked 20s after worker death")

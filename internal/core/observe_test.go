@@ -23,7 +23,7 @@ func TestDistributedObservability(t *testing.T) {
 	cfg.Telemetry = TelemetryJSONL(&jsonl)
 	ob := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
 
-	res, err := TrainDistributedHFObs(p, cfg, 3, nil, ob)
+	res, err := trainDist(p, cfg, 3, nil, WithObserver(ob))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,11 @@ func TestDistributedObsNilObserverUnchanged(t *testing.T) {
 	p := testProblem(t, CrossEntropy)
 	cfg := fastHF()
 	cfg.MaxIterations = 2
-	plain, err := TrainDistributedHF(p, cfg, 2, nil)
+	plain, err := trainDist(p, cfg, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	instr, err := TrainDistributedHFObs(p, cfg, 2, nil, nil)
+	instr, err := trainDist(p, cfg, 2, nil, WithObserver(nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,60 +7,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/corpus"
 	"repro/internal/hf"
-	"repro/internal/mpi"
-	"repro/internal/obs"
 )
-
-// TrainDistributedHFTCP runs the master and workers over a localhost TCP
-// fabric — the same code path a true multi-process deployment uses,
-// exercised inside one process. ranks counts all processes including the
-// master.
-func TrainDistributedHFTCP(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
-	return trainDistributedHFTCP(p, cfg, ranks, part, ob, nil)
-}
-
-// TrainDistributedHFTCPChecked is TrainDistributedHFTCP with the
-// cross-rank collective-protocol checker enabled on every rank's comm
-// (the TCP analogue of TrainDistributedHFChecked).
-func TrainDistributedHFTCPChecked(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk mpi.CheckConfig) (*MasterResult, error) {
-	return trainDistributedHFTCP(p, cfg, ranks, part, ob, &chk)
-}
-
-func trainDistributedHFTCP(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, ob *obs.Observer, chk *mpi.CheckConfig) (*MasterResult, error) {
-	if ranks < 2 {
-		return nil, fmt.Errorf("core: need ≥2 ranks, got %d", ranks)
-	}
-	transports, err := mpi.ConnectTCPLocal(ranks)
-	if err != nil {
-		return nil, err
-	}
-	newComm := func(r int) *mpi.Comm {
-		if chk != nil {
-			return mpi.NewCheckedComm(transports[r], *chk).Comm
-		}
-		return mpi.NewComm(transports[r])
-	}
-	workerErrs := make(chan error, ranks-1)
-	for r := 1; r < ranks; r++ {
-		go func(r int) {
-			comm := newComm(r)
-			defer comm.Close()
-			workerErrs <- RunWorkerObs(comm, ob)
-		}(r)
-	}
-	master := newComm(0)
-	defer master.Close()
-	res, err := RunMasterObs(master, p, cfg, part, ob)
-	for r := 1; r < ranks; r++ {
-		if werr := <-workerErrs; werr != nil && err == nil {
-			err = werr
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}
 
 // ReplayRun summarizes one of the two trainings a replay verification
 // performs.
@@ -114,23 +61,22 @@ func (r *ReplayReport) String() string {
 // the λ updates. The first divergent record names the iteration and
 // tensor where reproducibility broke. fabric is "inproc" or "tcp".
 func ReplayVerify(p Problem, cfg hf.Config, ranks int, part corpus.Partitioner, fabric string) (*ReplayReport, error) {
+	kind, err := ParseFabric(fabric)
+	if err != nil {
+		return nil, fmt.Errorf("core: unknown replay fabric %q (want inproc, tcp)", fabric)
+	}
 	report := &ReplayReport{Fabric: fabric, Ranks: ranks, Iterations: cfg.MaxIterations}
 	var streams [2][]check.HashRecord
 	for run := 0; run < 2; run++ {
 		hs := &check.HashStream{}
 		c := cfg
 		c.Hash = hs
-		start := time.Now()
-		var res *MasterResult
-		var err error
-		switch fabric {
-		case "inproc":
-			res, err = trainDistributedHF(p, c, ranks, part, nil, nil)
-		case "tcp":
-			res, err = trainDistributedHFTCP(p, c, ranks, part, nil, nil)
-		default:
-			return nil, fmt.Errorf("core: unknown replay fabric %q (want inproc, tcp)", fabric)
+		sess, err := NewSession(p, WithRanks(ranks), WithFabric(kind), WithPartitioner(part))
+		if err != nil {
+			return nil, err
 		}
+		start := time.Now()
+		res, err := sess.Run(c)
 		if err != nil {
 			return nil, fmt.Errorf("core: replay run %d on %s: %w", run+1, fabric, err)
 		}

@@ -63,7 +63,7 @@ func TestReplayDetectsSeedChange(t *testing.T) {
 		hs := &check.HashStream{}
 		c := cfg
 		c.Hash = hs
-		if _, err := trainDistributedHF(q, c, 3, nil, nil, nil); err != nil {
+		if _, err := trainDist(q, c, 3, nil); err != nil {
 			t.Fatal(err)
 		}
 		streams[i] = hs.Records()

@@ -1,0 +1,350 @@
+package core
+
+// Session is the single front door to distributed training. It replaces
+// the old five-way cross-product of entry points
+// (TrainDistributedHF{,Obs,Checked,TCP,TCPChecked} × Run{Master,Worker}{,Obs})
+// with one options-based constructor:
+//
+//	sess, err := core.NewSession(p,
+//		core.WithRanks(8),
+//		core.WithFabric(core.FabricTCP),
+//		core.WithObserver(ob),
+//		core.WithFaults(core.FaultPolicy{MaxEvictions: 2}),
+//		core.WithCheckpoint(core.CheckpointPolicy{Every: 1}),
+//	)
+//	...
+//	res, err := sess.Run(hfCfg)
+//
+// Two modes:
+//
+//   - Spawn mode (default): the session builds an in-process fabric
+//     (goroutine ranks over InprocFabric or localhost TCP), runs the
+//     master on rank 0 and workers on the rest, joins them, and returns
+//     the master's result.
+//
+//   - Attach mode (WithComm): the caller owns rank launch — one Session
+//     per rank over an externally built communicator. Run dispatches on
+//     the comm's rank: rank 0 trains and returns the result; other
+//     ranks serve the worker loop and return (nil, nil).
+//
+// WithFaults switches both modes from the classic collective protocol
+// to the elastic fault-tolerant runtime (elastic.go).
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/hf"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// FabricKind selects the transport a spawn-mode Session builds.
+type FabricKind int
+
+const (
+	// FabricInproc is the deterministic in-process mailbox fabric.
+	FabricInproc FabricKind = iota
+	// FabricTCP is the localhost TCP fabric — the same code path a true
+	// multi-process deployment uses, exercised inside one process.
+	FabricTCP
+)
+
+func (k FabricKind) String() string {
+	switch k {
+	case FabricInproc:
+		return "inproc"
+	case FabricTCP:
+		return "tcp"
+	}
+	return fmt.Sprintf("fabric(%d)", int(k))
+}
+
+// ParseFabric converts a flag string ("inproc", "tcp") to a FabricKind.
+func ParseFabric(s string) (FabricKind, error) {
+	switch s {
+	case "inproc":
+		return FabricInproc, nil
+	case "tcp":
+		return FabricTCP, nil
+	}
+	return 0, fmt.Errorf("core: unknown fabric %q (want inproc, tcp)", s)
+}
+
+// sessionOptions accumulates option state before validation.
+type sessionOptions struct {
+	ranks    int
+	ranksSet bool
+	fabric   FabricKind
+	fabSet   bool
+	comm     *mpi.Comm
+	part     corpus.Partitioner
+	ob       *obs.Observer
+	check    *mpi.CheckConfig
+	faults   *FaultPolicy
+	ckpt     *CheckpointPolicy
+}
+
+// Option configures a Session.
+type Option func(*sessionOptions)
+
+// WithRanks sets the spawn-mode rank count, master included (default 4).
+// Incompatible with WithComm.
+func WithRanks(n int) Option {
+	return func(o *sessionOptions) { o.ranks, o.ranksSet = n, true }
+}
+
+// WithFabric selects the spawn-mode transport (default FabricInproc).
+// Incompatible with WithComm.
+func WithFabric(k FabricKind) Option {
+	return func(o *sessionOptions) { o.fabric, o.fabSet = k, true }
+}
+
+// WithComm attaches the session to an externally built communicator
+// instead of spawning a fabric: the caller runs one Session per rank and
+// Run dispatches on comm.Rank(). Incompatible with WithRanks, WithFabric
+// and WithCheck (wrap the comm with mpi.NewCheckedComm yourself — the
+// session cannot retrofit protocol checking onto a transport it does not
+// own).
+func WithComm(comm *mpi.Comm) Option {
+	return func(o *sessionOptions) { o.comm = comm }
+}
+
+// WithPartitioner sets the shard partitioner (default the paper's
+// sorted-greedy equal-frame partitioner).
+func WithPartitioner(part corpus.Partitioner) Option {
+	return func(o *sessionOptions) { o.part = part }
+}
+
+// WithObserver routes spans, metrics and events through ob (nil is the
+// no-op observer).
+func WithObserver(ob *obs.Observer) Option {
+	return func(o *sessionOptions) { o.ob = ob }
+}
+
+// WithCheck enables the cross-rank collective-protocol checker on every
+// spawned rank's communicator. Spawn mode only.
+func WithCheck(cfg mpi.CheckConfig) Option {
+	return func(o *sessionOptions) { o.check = &cfg }
+}
+
+// WithFaults switches the session to the elastic fault-tolerant runtime:
+// per-op deadlines, heartbeats, worker eviction, shard re-partitioning
+// and checkpoint rewinds per pol.
+func WithFaults(pol FaultPolicy) Option {
+	return func(o *sessionOptions) { o.faults = &pol }
+}
+
+// WithCheckpoint sets the elastic runtime's rewind cadence (and optional
+// on-disk mirror). Requires WithFaults — checkpoints exist to be rewound
+// to; without a fault policy nothing ever rewinds.
+func WithCheckpoint(pol CheckpointPolicy) Option {
+	return func(o *sessionOptions) { o.ckpt = &pol }
+}
+
+// Session is a configured distributed training run. Build with
+// NewSession; execute with Run.
+type Session struct {
+	p   Problem
+	opt sessionOptions
+}
+
+// NewSession validates the option set against the problem and returns a
+// runnable session. See the package-level Option docs for the legal
+// combinations; the zero option set spawns 4 inproc ranks running the
+// classic collective protocol.
+func NewSession(p Problem, opts ...Option) (*Session, error) {
+	o := sessionOptions{ranks: 4, fabric: FabricInproc}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.comm != nil {
+		if o.ranksSet || o.fabSet {
+			return nil, errors.New("core: WithComm is incompatible with WithRanks/WithFabric (the attached comm fixes both)")
+		}
+		if o.check != nil {
+			return nil, errors.New("core: WithCheck is incompatible with WithComm; wrap the comm with mpi.NewCheckedComm instead")
+		}
+		if o.comm.Size() < 2 {
+			return nil, fmt.Errorf("core: distributed training needs ≥2 ranks, have %d", o.comm.Size())
+		}
+	} else {
+		if o.ranks < 2 {
+			return nil, fmt.Errorf("core: need ≥2 ranks, got %d", o.ranks)
+		}
+		switch o.fabric {
+		case FabricInproc, FabricTCP:
+		default:
+			return nil, fmt.Errorf("core: unknown fabric %v", o.fabric)
+		}
+	}
+	if o.ckpt != nil && o.faults == nil {
+		return nil, errors.New("core: WithCheckpoint requires WithFaults (checkpoints exist to be rewound to)")
+	}
+	if o.faults != nil && o.faults.Inject != nil && o.comm != nil {
+		return nil, errors.New("core: FaultPolicy.Inject requires spawn mode (attached comms are owned by the caller)")
+	}
+	if o.part == nil {
+		o.part = corpus.SortedGreedy{}
+	}
+	// Validate the problem wherever this session will run a master. A
+	// worker-rank attach session never touches the full corpus, which
+	// legitimately may be empty there.
+	if o.comm == nil || o.comm.Rank() == 0 {
+		filled := p.filled()
+		if err := filled.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Session{p: p, opt: o}, nil
+}
+
+// ckptPolicy resolves the effective checkpoint policy for elastic runs.
+func (s *Session) ckptPolicy() CheckpointPolicy {
+	if s.opt.ckpt != nil {
+		return *s.opt.ckpt
+	}
+	return CheckpointPolicy{}
+}
+
+// Run executes the session: spawn mode trains to completion and returns
+// the master's result; attach mode returns the result on rank 0 and
+// (nil, nil) on worker ranks after their loop drains.
+func (s *Session) Run(cfg hf.Config) (*MasterResult, error) {
+	if s.opt.comm != nil {
+		return s.runAttached(cfg)
+	}
+	return s.runSpawned(cfg)
+}
+
+func (s *Session) runAttached(cfg hf.Config) (*MasterResult, error) {
+	comm, o := s.opt.comm, &s.opt
+	if comm.Rank() == 0 {
+		if o.faults != nil {
+			return runElastic(comm, s.p, cfg, o.part, o.ob, *o.faults, s.ckptPolicy(), nil)
+		}
+		//lint:ignore commcheck rank dispatch is the protocol: rank 0 runs the master sender, every other rank runs the matching worker loop below
+		return runMaster(comm, s.p, cfg, o.part, o.ob)
+	}
+	if o.faults != nil {
+		return nil, runElasticWorker(comm, o.ob, nil)
+	}
+	return nil, runWorker(comm, o.ob)
+}
+
+// rankErr pairs a worker error with its rank so elastic joins can
+// separate injected deaths from real failures.
+type rankErr struct {
+	rank int
+	err  error
+}
+
+func (s *Session) runSpawned(cfg hf.Config) (*MasterResult, error) {
+	o := &s.opt
+	ranks := o.ranks
+
+	// Build one transport per rank.
+	var transports []mpi.Transport
+	switch o.fabric {
+	case FabricInproc:
+		fabric := mpi.NewInprocFabric(ranks)
+		defer fabric.Close()
+		for r := 0; r < ranks; r++ {
+			transports = append(transports, fabric.Transport(r))
+		}
+	case FabricTCP:
+		ts, err := mpi.ConnectTCPLocal(ranks)
+		if err != nil {
+			return nil, err
+		}
+		transports = ts
+	}
+
+	// Per-rank wrapping: fault injection first (so injected kills close
+	// the real transport), then deadlines, then the protocol checker.
+	epochHooks := make([]func(int), ranks)
+	comms := make([]*mpi.Comm, ranks)
+	for r := 0; r < ranks; r++ {
+		t := transports[r]
+		if o.faults != nil {
+			if o.faults.Inject != nil {
+				t = mpi.InjectFaults(t, o.faults.Inject)
+				if ft, ok := t.(*mpi.FaultTransport); ok {
+					epochHooks[r] = ft.SetEpoch
+				}
+			}
+			if wd, ok := t.(mpi.WriteDeadliner); ok {
+				wd.SetWriteDeadline(o.faults.FaultConfig.Filled().WriteDeadline)
+			}
+		}
+		if o.check != nil {
+			comms[r] = mpi.NewCheckedComm(t, *o.check).Comm
+		} else {
+			comms[r] = mpi.NewComm(t)
+		}
+	}
+
+	workerErrs := make(chan rankErr, ranks-1)
+	for r := 1; r < ranks; r++ {
+		go func(r int) {
+			comm := comms[r]
+			defer comm.Close()
+			var err error
+			if o.faults != nil {
+				err = runElasticWorker(comm, o.ob, epochHooks[r])
+			} else {
+				err = runWorker(comm, o.ob)
+			}
+			workerErrs <- rankErr{rank: r, err: err}
+		}(r)
+	}
+
+	master := comms[0]
+	defer master.Close()
+	var res *MasterResult
+	var err error
+	if o.faults != nil {
+		res, err = runElastic(master, s.p, cfg, o.part, o.ob, *o.faults, s.ckptPolicy(), epochHooks[0])
+	} else {
+		res, err = runMaster(master, s.p, cfg, o.part, o.ob)
+	}
+	if err != nil {
+		// Unblock workers still parked in a Recv before draining them.
+		for r := 1; r < ranks; r++ {
+			_ = comms[r].Close() // best-effort: the master's error is primary
+		}
+	}
+
+	evicted := map[int]bool{}
+	if res != nil && res.Fault != nil {
+		for _, ev := range res.Fault.Evictions {
+			evicted[ev.Rank] = true
+		}
+	}
+	// An evicted worker that is still alive (evicted for slowness, not
+	// death) is parked in a Recv the master will never answer — the stop
+	// fan-out only covers live ranks. Close its comm to unpark it.
+	for r := range evicted {
+		if r >= 1 && r < ranks {
+			_ = comms[r].Close() // best-effort: eviction already recorded
+		}
+	}
+	for r := 1; r < ranks; r++ {
+		we := <-workerErrs
+		if we.err == nil || err != nil {
+			continue
+		}
+		// An evicted worker's exit error is expected — its transport was
+		// killed or its master vanished mid-op; the eviction record in
+		// res.Fault is the authoritative account.
+		if evicted[we.rank] {
+			continue
+		}
+		err = fmt.Errorf("core: worker %d: %w", we.rank, we.err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

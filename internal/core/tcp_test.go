@@ -35,11 +35,21 @@ func TestDistributedHFOverTCP(t *testing.T) {
 			defer wg.Done()
 			comm := mpi.NewComm(transports[r])
 			defer comm.Close()
-			workerErrs[r] = RunWorker(comm)
+			// Worker ranks never touch the corpus: the zero Problem is legal.
+			sess, err := NewSession(Problem{}, WithComm(comm))
+			if err != nil {
+				workerErrs[r] = err
+				return
+			}
+			_, workerErrs[r] = sess.Run(cfg)
 		}(r)
 	}
 	master := mpi.NewComm(transports[0])
-	res, err := RunMaster(master, p, cfg, nil)
+	sess, err := NewSession(p, WithComm(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,13 +82,20 @@ func TestDistributedHFOverTCP(t *testing.T) {
 	}
 }
 
-// RunWorker must reject malformed shard payloads instead of panicking.
+// The worker loop must reject malformed shard payloads instead of
+// panicking.
 func TestWorkerRejectsMalformedShard(t *testing.T) {
 	fabric := mpi.NewInprocFabric(2)
 	defer fabric.Close()
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- RunWorker(mpi.NewComm(fabric.Transport(1)))
+		sess, err := NewSession(Problem{}, WithComm(mpi.NewComm(fabric.Transport(1))))
+		if err != nil {
+			errCh <- err
+			return
+		}
+		_, err = sess.Run(fastHF())
+		errCh <- err
 	}()
 	master := mpi.NewComm(fabric.Transport(0))
 	if err := master.SendBytes(1, tagShard, []byte("garbage payload")); err != nil {
@@ -89,6 +106,9 @@ func TestWorkerRejectsMalformedShard(t *testing.T) {
 	}
 }
 
+// The deprecated Run{Master,Worker} shims keep their historical contract:
+// calling them on the wrong rank is an error (the Session API instead
+// dispatches on rank, so this check lives only in the shims).
 func TestRunMasterOnWorkerRankFails(t *testing.T) {
 	fabric := mpi.NewInprocFabric(2)
 	defer fabric.Close()
@@ -117,7 +137,9 @@ func TestMasterDetectsDeadWorker(t *testing.T) {
 	go func() {
 		comm := mpi.NewComm(transports[1])
 		defer comm.Close()
-		RunWorker(comm) // will error once the job collapses; ignored
+		if sess, err := NewSession(Problem{}, WithComm(comm)); err == nil {
+			sess.Run(cfg) // will error once the job collapses; ignored
+		}
 	}()
 	go func() {
 		comm := mpi.NewComm(transports[2])
@@ -129,7 +151,12 @@ func TestMasterDetectsDeadWorker(t *testing.T) {
 	defer master.Close()
 	done := make(chan error, 1)
 	go func() {
-		_, err := RunMaster(master, p, cfg, nil)
+		sess, err := NewSession(p, WithComm(master))
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = sess.Run(cfg)
 		done <- err
 	}()
 	select {

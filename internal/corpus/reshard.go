@@ -1,0 +1,31 @@
+package corpus
+
+// Reshard re-partitions an evicted worker's orphaned utterances across
+// the survivors using the same partitioner that built the original
+// shards, so the elastic runtime's post-eviction balance matches what a
+// fresh (survivors)-way partition of that data would have produced. The
+// result has exactly `survivors` entries, some possibly empty; each is
+// appended to the corresponding survivor's existing shard. A nil part
+// defaults to the paper's sorted-greedy equal-frame partitioner.
+func Reshard(orphaned []*Utterance, survivors int, part Partitioner) [][]*Utterance {
+	if survivors <= 0 {
+		return nil
+	}
+	if part == nil {
+		part = SortedGreedy{}
+	}
+	if len(orphaned) == 0 {
+		return make([][]*Utterance, survivors)
+	}
+	return part.Partition(orphaned, survivors)
+}
+
+// ReshardFrames sums the frames of a supplement produced by Reshard —
+// the re-shard size the elastic runtime exports per eviction.
+func ReshardFrames(supplements [][]*Utterance) int {
+	total := 0
+	for _, s := range supplements {
+		total += TotalFrames(s)
+	}
+	return total
+}

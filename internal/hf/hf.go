@@ -82,6 +82,19 @@ type Config struct {
 	// determinism build tag). core.ReplayVerify diffs two runs' streams
 	// to certify bit-reproducibility; see DESIGN.md, "Determinism".
 	Hash *check.HashStream
+	// InitDirection, when non-nil, seeds the CG warm start d0 (copied,
+	// not aliased; must have the objective's dimension). Together with
+	// Lambda0 it lets a caller resume an interrupted run with the exact
+	// cross-iteration optimizer state a checkpoint captured via State.
+	InitDirection tensor.Vector
+	// State, when non-nil, fires after each iteration's Log/Telemetry
+	// with the cross-iteration optimizer state the NEXT iteration will
+	// start from: the post-update damping λ and the CG warm-start
+	// direction (a live buffer — copy it, don't retain it). With θ and
+	// the held-out loss from IterStats this is everything needed to
+	// resume the run exactly (e.g. the elastic runtime's rewind
+	// checkpoints).
+	State func(iter int, lambda float64, dir tensor.Vector)
 }
 
 // emit delivers one iteration's statistics to the configured hooks.
@@ -156,6 +169,9 @@ func Optimize(obj Objective, cfg Config) Result {
 	n := obj.Dim()
 	lambda := cfg.Lambda0
 	d0 := tensor.NewVector(n)
+	if cfg.InitDirection != nil && len(cfg.InitDirection) == n {
+		copy(d0, cfg.InitDirection)
+	}
 	theta := obj.Params()
 	lossPrev := obj.HeldOutLoss(theta)
 	res := Result{FinalLoss: lossPrev}
@@ -224,6 +240,9 @@ func Optimize(obj Objective, cfg Config) Result {
 			cfg.Hash.RecordScalars(iter, "reject", lambda, lossBest)
 			res.Iters = append(res.Iters, stats)
 			cfg.emit(stats)
+			if cfg.State != nil {
+				cfg.State(iter, lambda, d0)
+			}
 			consecutiveRejects++
 			if consecutiveRejects >= 8 {
 				break // damping has grown past any useful step
@@ -284,6 +303,9 @@ func Optimize(obj Objective, cfg Config) Result {
 		stats.Loss = lossNew
 		res.Iters = append(res.Iters, stats)
 		cfg.emit(stats)
+		if cfg.State != nil {
+			cfg.State(iter, lambda, d0)
+		}
 		if cfg.TolRelImprove > 0 && improvement >= 0 && improvement < cfg.TolRelImprove {
 			break
 		}

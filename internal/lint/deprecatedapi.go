@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeprecatedAPI flags uses of the superseded distributed-training entry
+// points in internal/core. The old surface was a five-way cross-product —
+// TrainDistributedHF{,Obs,Checked,TCP,TCPChecked} for spawn-mode runs and
+// Run{Master,Worker}{,Obs} for caller-owned ranks — that forced every new
+// orthogonal capability (observability, protocol checking, transport
+// choice, fault tolerance) to multiply the API. core.NewSession with
+// options replaces all of them; the old names survive only as deprecation
+// shims inside internal/core, which is the one package this analyzer
+// does not inspect.
+type DeprecatedAPI struct{}
+
+// Name implements Analyzer.
+func (DeprecatedAPI) Name() string { return "deprecatedapi" }
+
+// Doc implements Analyzer.
+func (DeprecatedAPI) Doc() string {
+	return "call to a deprecated core training entry point; " +
+		"build a core.NewSession with options (WithRanks/WithFabric/WithComm/" +
+		"WithObserver/WithCheck/WithFaults) and call Run instead"
+}
+
+// deprecatedCoreFuncs maps each shimmed entry point to the option spelling
+// that replaces it, quoted in the finding message.
+var deprecatedCoreFuncs = map[string]string{
+	"TrainDistributedHF":           "core.NewSession(p, core.WithRanks(n))",
+	"TrainDistributedHFObs":        "core.NewSession with core.WithObserver",
+	"TrainDistributedHFChecked":    "core.NewSession with core.WithCheck",
+	"TrainDistributedHFTCP":        "core.NewSession with core.WithFabric(core.FabricTCP)",
+	"TrainDistributedHFTCPChecked": "core.NewSession with core.WithFabric and core.WithCheck",
+	"RunMaster":                    "core.NewSession with core.WithComm",
+	"RunMasterObs":                 "core.NewSession with core.WithComm and core.WithObserver",
+	"RunWorker":                    "core.NewSession with core.WithComm",
+	"RunWorkerObs":                 "core.NewSession with core.WithComm and core.WithObserver",
+}
+
+// coreImportPath is the package whose deprecated surface is policed.
+const coreImportPath = "repro/internal/core"
+
+// Run implements Analyzer.
+func (d DeprecatedAPI) Run(p *Package) []Finding {
+	if p.ImportPath == coreImportPath {
+		return nil // the deprecation shims themselves live here
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || pkgPath(fn) != coreImportPath {
+				return true
+			}
+			repl, deprecated := deprecatedCoreFuncs[fn.Name()]
+			if !deprecated {
+				return true
+			}
+			out = append(out, p.finding(d, SevError, id,
+				"core.%s is deprecated; use %s", fn.Name(), repl))
+			return true
+		})
+	}
+	return out
+}

@@ -88,6 +88,7 @@ func Analyzers() []Analyzer {
 		ReduceOrder{},
 		RngSource{},
 		DivGuard{},
+		DeprecatedAPI{},
 	}
 }
 

@@ -22,6 +22,7 @@ var fixtureDirs = []string{
 	"reduceorder",
 	"rngsource",
 	"divguard",
+	"deprecatedapi",
 	"clean",
 }
 
@@ -122,9 +123,15 @@ func TestFixtureFindings(t *testing.T) {
 			"27:9 divguard warn", // indexed preconditioner entry
 			"32:9 divguard warn", // denominator under math.Abs
 		},
-		"clean.go":       nil,
-		"clean_comm.go":  nil,
-		"clean_num.go":   nil,
+		"deprecatedapi.go": {
+			"14:20 deprecatedapi error", // TrainDistributedHF
+			"17:20 deprecatedapi error", // TrainDistributedHFObs
+			"20:17 deprecatedapi error", // TrainDistributedHFTCP
+			"25:14 deprecatedapi error", // RunWorker
+		},
+		"clean.go":      nil,
+		"clean_comm.go": nil,
+		"clean_num.go":  nil,
 	}
 
 	got := map[string][]string{}

@@ -1,0 +1,39 @@
+// Package deprecatedapi is a lint fixture seeding calls to the
+// superseded five-way core training entry points, alongside the
+// sanctioned Session form that must stay silent.
+package deprecatedapi
+
+import (
+	"repro/internal/core"
+	"repro/internal/hf"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+func legacySpawn(p core.Problem, cfg hf.Config, ob *obs.Observer) error {
+	if _, err := core.TrainDistributedHF(p, cfg, 4, nil); err != nil { // want: deprecated
+		return err
+	}
+	if _, err := core.TrainDistributedHFObs(p, cfg, 4, nil, ob); err != nil { // want: deprecated
+		return err
+	}
+	_, err := core.TrainDistributedHFTCP(p, cfg, 4, nil, ob) // want: deprecated
+	return err
+}
+
+func legacyAttach(comm *mpi.Comm) error {
+	return core.RunWorker(comm) // want: deprecated
+}
+
+func sanctioned(p core.Problem, cfg hf.Config) error {
+	sess, err := core.NewSession(p,
+		core.WithRanks(4),
+		core.WithFabric(core.FabricTCP),
+		core.WithFaults(core.FaultPolicy{MaxEvictions: 2}),
+	)
+	if err != nil {
+		return err
+	}
+	_, err = sess.Run(cfg)
+	return err
+}

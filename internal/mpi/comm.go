@@ -124,6 +124,21 @@ func (c *Comm) RecvBytes(src, tag int) (Message, error) {
 	return msg, err
 }
 
+// RecvBytesTimeout is RecvBytes bounded by a deadline: if no matching
+// message arrives within d it fails with an error wrapping ErrTimeout
+// instead of blocking. d <= 0 blocks like RecvBytes. The elastic
+// runtime's failure detector is built on this.
+func (c *Comm) RecvBytesTimeout(src, tag int, d time.Duration) (Message, error) {
+	start := time.Now()
+	msg, err := RecvTimeout(c.t, src, tag, d)
+	c.prof.addOp(CatP2P, "recv", time.Since(start), int64(len(msg.Data)))
+	return msg, err
+}
+
+// Transport exposes the underlying transport so callers can reach
+// optional capabilities (DeadlineRecver, WriteDeadliner, fault epochs).
+func (c *Comm) Transport() Transport { return c.t }
+
 // SendF32 sends a float32 slice to dst.
 func (c *Comm) SendF32(dst, tag int, x []float32) error {
 	return c.SendBytes(dst, tag, encodeF32(x))

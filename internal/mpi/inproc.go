@@ -1,6 +1,9 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // InprocFabric connects n ranks living as goroutines in one process. It is
 // the deterministic transport used by tests, examples and the
@@ -62,7 +65,25 @@ func (t *inprocTransport) Recv(src, tag int) (Message, error) {
 	return t.fabric.boxes[t.rank].get(src, tag)
 }
 
+// RecvTimeout implements DeadlineRecver.
+func (t *inprocTransport) RecvTimeout(src, tag int, d time.Duration) (Message, error) {
+	if src != AnySource {
+		if err := checkRank("recv source", src, t.Size()); err != nil {
+			return Message{}, err
+		}
+	}
+	return t.fabric.boxes[t.rank].getTimeout(src, tag, d)
+}
+
 func (t *inprocTransport) Close() error {
 	t.fabric.boxes[t.rank].close()
+	// Mirror TCP death semantics: peers blocked on a Recv from this rank
+	// observe ErrPeerDown instead of hanging until their own deadline.
+	// Messages this rank already delivered remain consumable.
+	for peer, box := range t.fabric.boxes {
+		if peer != t.rank {
+			box.markDown(t.rank)
+		}
+	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrPeerDown is returned by Recv when the awaited peer's connection has
@@ -60,24 +61,75 @@ func (m *mailbox) markDown(src int) {
 	m.mu.Unlock()
 }
 
+// matchLocked delivers the oldest queued message satisfying (src, tag).
+// Caller holds m.mu.
+func (m *mailbox) matchLocked(src, tag int) (Message, bool) {
+	for i, msg := range m.queue {
+		if (src == AnySource || msg.Src == src) && (tag == AnyTag || msg.Tag == tag) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg, true
+		}
+	}
+	return Message{}, false
+}
+
+// failureLocked reports the terminal condition, if any, for a receive
+// that found no queued match. Caller holds m.mu.
+func (m *mailbox) failureLocked(src int) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if src != AnySource && m.down[src] {
+		return fmt.Errorf("%w: rank %d", ErrPeerDown, src)
+	}
+	if src == AnySource && m.nPeers > 0 && len(m.down) >= m.nPeers {
+		return fmt.Errorf("%w: all peers", ErrPeerDown)
+	}
+	return nil
+}
+
 func (m *mailbox) get(src, tag int) (Message, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, msg := range m.queue {
-			if (src == AnySource || msg.Src == src) && (tag == AnyTag || msg.Tag == tag) {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg, nil
-			}
+		if msg, ok := m.matchLocked(src, tag); ok {
+			return msg, nil
 		}
-		if m.closed {
-			return Message{}, ErrClosed
+		if err := m.failureLocked(src); err != nil {
+			return Message{}, err
 		}
-		if src != AnySource && m.down[src] {
-			return Message{}, fmt.Errorf("%w: rank %d", ErrPeerDown, src)
+		m.cond.Wait()
+	}
+}
+
+// getTimeout is get bounded by a deadline: if no matching message
+// arrives within d, it fails with an error wrapping ErrTimeout. d <= 0
+// blocks indefinitely, exactly like get. The expiry timer broadcasts on
+// the condition so blocked waiters re-check promptly; the timedOut flag
+// is written and read under m.mu, keeping the race detector quiet.
+func (m *mailbox) getTimeout(src, tag int, d time.Duration) (Message, error) {
+	if d <= 0 {
+		return m.get(src, tag)
+	}
+	timedOut := false
+	timer := time.AfterFunc(d, func() {
+		m.mu.Lock()
+		timedOut = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if msg, ok := m.matchLocked(src, tag); ok {
+			return msg, nil
 		}
-		if src == AnySource && m.nPeers > 0 && len(m.down) >= m.nPeers {
-			return Message{}, fmt.Errorf("%w: all peers", ErrPeerDown)
+		if err := m.failureLocked(src); err != nil {
+			return Message{}, err
+		}
+		if timedOut {
+			return Message{}, fmt.Errorf("%w: no message from rank %d tag %d within %v", ErrTimeout, src, tag, d)
 		}
 		m.cond.Wait()
 	}

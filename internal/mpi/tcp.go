@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Wire format: every frame is [tag int32][length uint32][payload]. The
@@ -27,8 +29,24 @@ type tcpTransport struct {
 	conns []*tcpConn // indexed by peer rank; conns[rank] == nil
 	ln    net.Listener
 
+	// writeDeadlineNs bounds each frame write so a wedged peer (socket
+	// buffers full, reader stopped) surfaces as a send error instead of
+	// blocking Send forever. Recv paths have always had failure
+	// detection via markDown; this is the symmetric send-side bound.
+	writeDeadlineNs atomic.Int64
+
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// SetWriteDeadline implements WriteDeadliner: each subsequent frame
+// write must complete within d of starting. d <= 0 restores
+// DefaultTCPWriteDeadline.
+func (t *tcpTransport) SetWriteDeadline(d time.Duration) {
+	if d <= 0 {
+		d = DefaultTCPWriteDeadline
+	}
+	t.writeDeadlineNs.Store(int64(d))
 }
 
 type tcpConn struct {
@@ -93,6 +111,7 @@ func connectTCPWithListener(rank int, addrs []string, ln net.Listener) (Transpor
 		conns: make([]*tcpConn, size),
 		ln:    ln,
 	}
+	t.writeDeadlineNs.Store(int64(DefaultTCPWriteDeadline))
 
 	type accepted struct {
 		peer int
@@ -196,9 +215,19 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 	}
 	frame := appendFrame(make([]byte, 0, frameHeaderSize+len(data)), tag, data)
 	tc.mu.Lock()
+	if d := time.Duration(t.writeDeadlineNs.Load()); d > 0 {
+		// Arm per write: the deadline bounds this frame, not the
+		// connection's lifetime.
+		_ = tc.c.SetWriteDeadline(time.Now().Add(d))
+	}
 	_, err := tc.c.Write(frame)
 	tc.mu.Unlock()
 	if err != nil {
+		// The frame may be partially written, so the stream to dst is
+		// poisoned: close the connection and mark the peer down so
+		// later ops fail fast instead of corrupting framing.
+		_ = tc.c.Close()
+		t.box.markDown(dst)
 		return fmt.Errorf("mpi: send to rank %d: %w", dst, err)
 	}
 	return nil
@@ -211,6 +240,16 @@ func (t *tcpTransport) Recv(src, tag int) (Message, error) {
 		}
 	}
 	return t.box.get(src, tag)
+}
+
+// RecvTimeout implements DeadlineRecver.
+func (t *tcpTransport) RecvTimeout(src, tag int, d time.Duration) (Message, error) {
+	if src != AnySource {
+		if err := checkRank("recv source", src, t.size); err != nil {
+			return Message{}, err
+		}
+	}
+	return t.box.getTimeout(src, tag, d)
 }
 
 func (t *tcpTransport) Close() error {

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// FaultTable renders an elastic run's fault report: the eviction budget
+// summary and one row per evicted worker (which operation exposed the
+// fault, how far the run rewound, and the size of the re-sharded data).
+// The companion latency distributions (rewind wall time, heartbeat RTTs)
+// live in the metrics registry and render via MetricsTable.
+func FaultTable(w io.Writer, rep *core.FaultReport) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintf(w, "elastic fault report: %d eviction(s), budget %d, %d worker(s) at finish",
+		len(rep.Evictions), rep.MaxEvictions, rep.FinalWorkers)
+	if rep.Surrendered {
+		fmt.Fprint(w, " — SURRENDERED")
+	}
+	fmt.Fprintln(w)
+	if len(rep.Evictions) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%4s %6s %-12s %-24s %6s %12s %10s %10s %10s\n",
+		"rank", "iter", "op", "cause", "rewind", "resume loss", "utts", "frames", "rewind(ms)")
+	for _, ev := range rep.Evictions {
+		cause := ev.Cause
+		if len(cause) > 24 {
+			cause = cause[:21] + "..."
+		}
+		fmt.Fprintf(w, "%4d %6d %-12s %-24s %6d %12.5f %10d %10d %10.1f\n",
+			ev.Rank, ev.HFIter, ev.Op, cause, ev.RewindIter, ev.ResumeLoss,
+			ev.ReshardUtts, ev.ReshardFrames, float64(ev.RewindWall.Nanoseconds())/1e6)
+	}
+}

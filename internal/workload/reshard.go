@@ -1,0 +1,17 @@
+package workload
+
+import "repro/internal/corpus"
+
+// Reshard re-partitions an evicted worker's orphaned utterances across
+// the survivors; see corpus.Reshard (the implementation lives there so
+// internal/core — which workload itself imports for MeasureCounts — can
+// share it without an import cycle). Exposed here because re-shard
+// planning is workload balancing, the concern of this package.
+func Reshard(orphaned []*corpus.Utterance, survivors int, part corpus.Partitioner) [][]*corpus.Utterance {
+	return corpus.Reshard(orphaned, survivors, part)
+}
+
+// ReshardFrames sums the frames of a supplement produced by Reshard.
+func ReshardFrames(supplements [][]*corpus.Utterance) int {
+	return corpus.ReshardFrames(supplements)
+}
