@@ -1,4 +1,4 @@
-.PHONY: verify lint commcheck numcheck faultcheck determinism race race-mpi test bench bench_obs bench_fault
+.PHONY: verify lint commcheck numcheck faultcheck obscheck determinism race race-mpi test bench bench_obs bench_fault
 
 # Full gate: compile, vet, the repo-specific static analyzers (including
 # the collective-protocol checker and the determinism/numerical-safety
@@ -7,7 +7,7 @@
 # collective (-tags commcheck), the invariant-checked build of the
 # numeric core, and the bit-reproducible replay gate on both fabrics.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) faultcheck && $(MAKE) determinism
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) determinism
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
@@ -37,6 +37,18 @@ numcheck:
 faultcheck:
 	go vet ./... && go run ./cmd/repolint -only deprecatedapi
 	go test -race -run 'TestElastic|TestSession|TestFault|TestRecvTimeout|TestTCPSendWriteDeadline' ./internal/core ./internal/mpi
+
+# Telemetry-plane gate: the obs nil-guard analyzer (covers both
+# *obs.Observer and *telemetry.Plane field access), the telemetry unit
+# suite (clock sync, shipper/merger round-trip, Prometheus and merged-
+# trace goldens, flight recorder, endpoint handlers) under the race
+# detector, and the end-to-end drills on the real fabrics: merged
+# 4-rank TCP trace, mid-run /metrics scrape, and the kill-1-of-4
+# flight-bundle capture. See DESIGN.md, "Telemetry plane".
+obscheck:
+	go run ./cmd/repolint -only obsnilguard
+	go test -race ./internal/obs/telemetry
+	go test -race -run 'TestTelemetry' ./internal/core
 
 # Bit-reproducible replay gate: train the same seeded problem twice on
 # each fabric and require byte-identical per-iteration FNV hash streams

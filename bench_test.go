@@ -14,6 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/workload"
 )
 
@@ -297,9 +298,13 @@ func BenchmarkRealDistributedHF(b *testing.B) {
 
 // BenchmarkObsOverhead measures what the observability layer costs the
 // real distributed trainer: identical 3-rank runs with instrumentation
-// disabled (nil observer — hot paths pay only pointer checks) and fully
-// enabled (metrics registry + span tracer). The comparison is written to
-// BENCH_obs.json.
+// disabled (nil observer — hot paths pay only pointer checks), fully
+// enabled (metrics registry + span tracer), and with the telemetry
+// plane shipping spans and metric snapshots to the master at every
+// iteration boundary. The comparison is written to BENCH_obs.json; if a
+// previous BENCH_obs.json exists, the benchmark fails when telemetry
+// shipping regresses past the recorded baseline by more than the
+// obsOverheadMargin.
 func BenchmarkObsOverhead(b *testing.B) {
 	c := corpus.Generate(corpus.Config{
 		Seed: 7, NumUtterances: 40, MeanSeconds: 0.3, FeatDim: 10, Context: 1, NumStates: 6,
@@ -314,40 +319,70 @@ func BenchmarkObsOverhead(b *testing.B) {
 		Seed:           3,
 	}
 	cfg := hf.Config{MaxIterations: 3, CG: hf.CGOpts{MaxIters: 15, MinIters: 3}}
-	run := func(b *testing.B, ob *obs.Observer) time.Duration {
-		sess, err := core.NewSession(prob, core.WithRanks(3), core.WithObserver(ob))
+	// Each variant takes the minimum wall time over a few repetitions —
+	// the noise-robust estimator for the short runs `-benchtime 1x`
+	// produces — so the percentages below compare floors, not jitter.
+	const reps = 3
+	run := func(b *testing.B, ob *obs.Observer, opts ...core.Option) (best, total time.Duration) {
+		sess, err := core.NewSession(prob, append([]core.Option{core.WithRanks(3), core.WithObserver(ob)}, opts...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
-		start := time.Now()
-		for i := 0; i < b.N; i++ {
+		for i := 0; i < b.N*reps; i++ {
+			start := time.Now()
 			if _, err := sess.Run(cfg); err != nil {
 				b.Fatal(err)
 			}
+			d := time.Since(start)
+			total += d
+			if best == 0 || d < best {
+				best = d
+			}
 		}
-		return time.Since(start) / time.Duration(b.N)
+		return best, total
 	}
-	var disabled, enabled time.Duration
+	var disabled, enabled, shipped time.Duration
 	var spansPerRun int
+	// telemetryPct is the shipping share measured on the master's
+	// critical path: the summed telemetry.collect_ns histogram over the
+	// variant's total wall time. Unlike the disabled-vs-enabled wall
+	// comparison it does not difference two separate noisy runs, so it
+	// is stable enough to gate on.
+	var telemetryPct float64
 	b.Run("disabled", func(b *testing.B) {
-		disabled = run(b, nil)
+		disabled, _ = run(b, nil)
 	})
 	b.Run("enabled", func(b *testing.B) {
 		ob := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
-		enabled = run(b, ob)
-		spansPerRun = len(ob.Trace.Events()) / b.N
+		enabled, _ = run(b, ob)
+		spansPerRun = len(ob.Trace.Events()) / (b.N * reps)
 		b.ReportMetric(float64(spansPerRun), "spans/run")
 	})
-	if disabled <= 0 || enabled <= 0 {
+	b.Run("telemetry", func(b *testing.B) {
+		ob := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(), Events: obs.NewEventLog(0)}
+		var total time.Duration
+		shipped, total = run(b, ob, core.WithTelemetry(telemetry.Config{}))
+		for _, h := range ob.Registry().Snapshot().Histograms {
+			if h.Name == "telemetry.collect_ns" && total > 0 {
+				telemetryPct = float64(h.Sum) / float64(total) * 100
+			}
+		}
+		b.ReportMetric(telemetryPct, "telemetry_pct")
+	})
+	if disabled <= 0 || enabled <= 0 || shipped <= 0 {
 		return
 	}
 	overheadPct := (float64(enabled)/float64(disabled) - 1) * 100
 	b.ReportMetric(overheadPct, "overhead_pct")
+
+	baseline, haveBaseline := readObsBaseline(b)
 	out, err := json.MarshalIndent(map[string]any{
-		"disabled_ns_per_run": disabled.Nanoseconds(),
-		"enabled_ns_per_run":  enabled.Nanoseconds(),
-		"overhead_pct":        overheadPct,
-		"spans_per_run":       spansPerRun,
+		"disabled_ns_per_run":  disabled.Nanoseconds(),
+		"enabled_ns_per_run":   enabled.Nanoseconds(),
+		"telemetry_ns_per_run": shipped.Nanoseconds(),
+		"overhead_pct":         overheadPct,
+		"telemetry_pct":        telemetryPct,
+		"spans_per_run":        spansPerRun,
 	}, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -355,6 +390,38 @@ func BenchmarkObsOverhead(b *testing.B) {
 	if err := os.WriteFile("BENCH_obs.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+	if haveBaseline {
+		if limit := baseline + obsOverheadMargin; telemetryPct > limit {
+			b.Fatalf("telemetry shipping overhead %.1f%% regressed past baseline %.1f%% + %.0f-point margin",
+				telemetryPct, baseline, obsOverheadMargin)
+		}
+	}
+}
+
+// obsOverheadMargin is how many percentage points the telemetry
+// shipping share may drift above the recorded BENCH_obs.json baseline
+// before BenchmarkObsOverhead fails. The share measures the summed
+// collect time against total wall, so it is stable (~0.25% on the
+// reference box); the margin absorbs VM jitter while keeping the gate
+// under the 2% budget — it catches structural regressions like an
+// accidental sync on the collective path.
+const obsOverheadMargin float64 = 1.5
+
+// readObsBaseline loads the telemetry overhead recorded by the previous
+// BenchmarkObsOverhead run, if any.
+func readObsBaseline(b *testing.B) (float64, bool) {
+	b.Helper()
+	data, err := os.ReadFile("BENCH_obs.json")
+	if err != nil {
+		return 0, false
+	}
+	var prev struct {
+		TelemetryPct *float64 `json:"telemetry_pct"`
+	}
+	if json.Unmarshal(data, &prev) != nil || prev.TelemetryPct == nil {
+		return 0, false
+	}
+	return *prev.TelemetryPct, true
 }
 
 // BenchmarkFaultEviction measures what surviving a worker death costs the

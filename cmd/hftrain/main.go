@@ -15,10 +15,20 @@
 // appends one JSON line per HF iteration; -commcheck verifies cross-rank
 // collective-protocol conformance in dist mode, failing fast with both
 // call sites on divergence instead of deadlocking or corrupting state.
+//
+// In dist mode, -trace/-http/-flight enable the distributed telemetry
+// plane: every rank ships its spans and metrics to the master at
+// iteration boundaries, a clock-offset handshake puts them on a common
+// timebase, and the merged trace carries one process track per rank.
+// -http serves /metrics (Prometheus), /trace (merged trace download),
+// /healthz (worker liveness; 503 when degraded), /flight (post-mortem
+// bundle) and /debug/pprof/ while training runs; -flight writes the
+// fault flight recorder's bundle as JSON after a faulted run.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +43,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/report"
 )
 
@@ -58,14 +69,16 @@ func main() {
 	commcheckDeadline := flag.Duration("commcheck-deadline", 0, "with -commcheck: per-collective watchdog deadline (0 = default, negative disables)")
 	faultInject := flag.String("fault-inject", "", "dist mode: fault schedule to inject, e.g. \"kill:rank=2,epoch=3; delay:rank=1,epoch=2,d=50ms\" (enables the elastic fault-tolerant runtime)")
 	maxEvictions := flag.Int("max-evictions", 0, "dist mode: worker evictions tolerated before surrendering (enables the elastic runtime; 0 = library default of 2 when elastic, negative = none)")
+	httpAddr := flag.String("http", "", "dist mode: serve the live monitoring endpoint on this address (e.g. :9090): /metrics, /trace, /healthz, /flight, /debug/pprof/")
+	flightOut := flag.String("flight", "", "dist mode: write the fault flight recorder's post-mortem bundle as JSON to this path after a faulted run")
 	shuffle := flag.Bool("shuffle", false, "shuffle utterances (seeded) before the train/held-out split")
 	replayVerify := flag.Bool("replay-verify", false, "run the training twice per fabric in -transport (comma-separated) and fail unless the per-iteration hash streams are bit-identical")
 	replayJSON := flag.String("replay-json", "", "with -replay-verify: write the replay reports and gate wall time as JSON to this path")
 	flag.Parse()
 
 	var ob *obs.Observer
-	if *traceOut != "" || *metricsOut != "" {
-		ob = &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
+	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" || *flightOut != "" {
+		ob = &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(), Events: obs.NewEventLog(0)}
 	}
 	// Open output files up front so a bad path fails before training.
 	var traceFile *os.File
@@ -137,6 +150,10 @@ func main() {
 		return
 	}
 
+	// In dist mode the telemetry plane owns the merged cross-rank trace;
+	// the serial modes write the local tracer instead.
+	var plane *telemetry.Plane
+
 	switch *mode {
 	case "serial":
 		obj, err := core.NewSerialObjective(prob)
@@ -194,12 +211,31 @@ func main() {
 			// Rewind checkpoints every iteration; mirror to -save if set.
 			opts = append(opts, core.WithCheckpoint(core.CheckpointPolicy{Every: 1, Path: *save}))
 		}
+		if ob != nil {
+			opts = append(opts, core.WithTelemetry(telemetry.Config{}))
+		}
 		sess, err := core.NewSession(prob, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		plane = sess.Telemetry()
+		if *httpAddr != "" {
+			srv, err := telemetry.NewServer(*httpAddr, plane)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			log.Printf("monitoring endpoint on http://%s (/metrics /trace /healthz /flight /debug/pprof/)", srv.Addr())
+		}
 		res, err := sess.Run(hfCfg)
 		if err != nil {
+			// A surrendered run still has a story to tell: the fault table
+			// and the flight recorder's post-mortem bundle.
+			var se *core.SurrenderError
+			if errors.As(err, &se) {
+				report.FaultTable(os.Stderr, se.Report)
+			}
+			writeFlight(*flightOut, plane)
 			log.Fatal(err)
 		}
 		fmt.Printf("distributed HF (%s, %d ranks, %s): final held-out loss %.4f, frame accuracy %.1f%%\n",
@@ -211,6 +247,10 @@ func main() {
 			report.HFIterTable(os.Stdout, res.HF.Iters)
 			report.MPITable(os.Stdout, res.MPIProfile)
 			report.MetricsTable(os.Stdout, ob.Registry().Snapshot())
+		}
+		if plane != nil {
+			report.TelemetryTable(os.Stdout, plane.Merger())
+			writeFlight(*flightOut, plane)
 		}
 	case "async":
 		res, err := core.TrainAsyncSGD(prob, core.AsyncSGDConfig{Epochs: *epochs, Seed: *seed}, *ranks, nil)
@@ -235,7 +275,16 @@ func main() {
 	}
 
 	if traceFile != nil {
-		if err := ob.Tracer().WriteChromeTrace(traceFile); err != nil {
+		// With a telemetry plane the merged cross-rank trace (common
+		// timebase, one process track per rank) supersedes the local
+		// tracer, which the master's shipper has already drained into it.
+		var err error
+		if plane != nil {
+			err = plane.Merger().WriteChromeTrace(traceFile)
+		} else {
+			err = ob.Tracer().WriteChromeTrace(traceFile)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		if err := traceFile.Close(); err != nil {
@@ -243,6 +292,31 @@ func main() {
 		}
 		log.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)", *traceOut)
 	}
+}
+
+// writeFlight writes the flight recorder's latest post-mortem bundle as
+// JSON to path; no-op when path is empty or no fault was captured.
+func writeFlight(path string, plane *telemetry.Plane) {
+	if path == "" {
+		return
+	}
+	b := plane.Recorder().Last()
+	if b == nil {
+		log.Printf("no flight bundle captured (no fault); %s not written", path)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	if err := b.WriteJSON(f); err != nil {
+		log.Print(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Print(err)
+	}
+	log.Printf("flight bundle written to %s", path)
 }
 
 // runReplayGate runs core.ReplayVerify on every fabric in the

@@ -111,7 +111,7 @@ func RunWorker(comm *mpi.Comm) error {
 	if comm.Rank() == 0 {
 		return fmt.Errorf("core: worker run on rank 0")
 	}
-	return runWorker(comm, nil)
+	return runWorker(comm, nil, nil)
 }
 
 // RunWorkerObs is RunWorker with an observer.
@@ -124,5 +124,5 @@ func RunWorkerObs(comm *mpi.Comm, ob *obs.Observer) error {
 	}
 	// The worker loop needs no Problem; the shard arrives on the wire.
 	// Bypass NewSession's master-side validation with the direct loop.
-	return runWorker(comm, ob)
+	return runWorker(comm, ob, nil)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/seq"
 	"repro/internal/tensor"
 )
@@ -28,6 +29,13 @@ const (
 	opAccuracy
 	opFisherDiag
 	opStop
+	// opClockSync runs the telemetry clock-offset handshake: arg is the
+	// ping round count; the pings themselves travel point-to-point on
+	// mpi.TagClockSync (see internal/obs/telemetry).
+	opClockSync
+	// opTelemetry asks every worker to ship its drained span/metric
+	// bundle to the master on mpi.TagTelemetry.
+	opTelemetry
 )
 
 // tagShard carries the initial point-to-point data distribution
@@ -216,6 +224,60 @@ type MasterResult struct {
 	Fault *FaultReport
 }
 
+// syncWorkerClocks runs the telemetry clock-offset handshake over the
+// classic protocol: one opClockSync broadcast arms every worker's
+// ServeClockSync loop, then each worker is pinged in turn and its
+// measured offset recorded in the merger. Best-effort: a failed
+// handshake leaves that rank's offset at zero and logs an event.
+func syncWorkerClocks(comm *mpi.Comm, obj *distObjective, plane *telemetry.Plane, ob *obs.Observer) {
+	tcfg := plane.Config()
+	comm.SetPhase("telemetry")
+	obj.cmd(opClockSync, float32(tcfg.ClockSyncRounds))
+	for w := 1; w < comm.Size(); w++ {
+		offset, rtt, err := telemetry.SyncClocks(comm, w, tcfg.ClockSyncRounds, tcfg.Deadline)
+		if err != nil {
+			ob.Eventf(0, "telemetry: clock sync with rank %d: %v", w, err)
+			continue
+		}
+		plane.Merger().SetOffset(w, offset)
+		if reg := ob.Registry(); reg != nil {
+			reg.Histogram("telemetry.clock_rtt_ns").Observe(rtt.Nanoseconds())
+		}
+	}
+}
+
+// collectTelemetry asks every worker for its drained telemetry bundle
+// (one opTelemetry broadcast, one point-to-point shipment back per
+// worker) and folds the shipments plus the master's own drained
+// observer into the merger. Runs at iteration boundaries — off the
+// collective critical path — and is best-effort: failures are logged,
+// never fatal.
+func collectTelemetry(comm *mpi.Comm, obj *distObjective, plane *telemetry.Plane, local *telemetry.Shipper, ob *obs.Observer) {
+	start := time.Now()
+	defer func() {
+		if reg := ob.Registry(); reg != nil {
+			reg.Histogram("telemetry.collect_ns").Observe(time.Since(start).Nanoseconds())
+		}
+	}()
+	tcfg := plane.Config()
+	comm.SetPhase("telemetry")
+	obj.cmd(opTelemetry, 0)
+	for w := 1; w < comm.Size(); w++ {
+		msg, err := comm.RecvBytesTimeout(w, mpi.TagTelemetry, tcfg.Deadline)
+		if err != nil {
+			ob.Eventf(0, "telemetry: collect from rank %d: %v", w, err)
+			continue
+		}
+		b, err := telemetry.DecodeBundle(msg.Data)
+		if err != nil {
+			ob.Eventf(0, "telemetry: decode from rank %d: %v", w, err)
+			continue
+		}
+		plane.Merger().Ingest(b)
+	}
+	plane.Merger().Ingest(local.Bundle())
+}
+
 // runMaster drives a distributed HF training run from rank 0 over the
 // classic collective protocol: it partitions the data, ships shards to
 // workers (load_data), runs the HF optimizer with all heavy computation
@@ -223,8 +285,11 @@ type MasterResult struct {
 // the paper's sorted-greedy equal-frame partitioner. A non-nil observer
 // adds phase spans on rank 0, per-collective metrics routed through the
 // communicator, and a per-iteration wall-time histogram
-// ("core.hf.iter_wall_ns"). Entry point: Session.Run.
-func runMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer) (*MasterResult, error) {
+// ("core.hf.iter_wall_ns"). A non-nil telemetry plane additionally runs
+// the clock-offset handshake at start and collects every rank's
+// span/metric bundles at iteration boundaries into the plane's merger.
+// Entry point: Session.Run.
+func runMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer, plane *telemetry.Plane) (*MasterResult, error) {
 	if comm.Rank() != 0 {
 		return nil, fmt.Errorf("core: master run on rank %d", comm.Rank())
 	}
@@ -257,18 +322,39 @@ func runMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner
 		net.InitGlorot(p.InitRNG())
 	}
 	obj := &distObjective{comm: comm, dim: net.NumParams(), theta: net.Params.Clone(), ob: ob}
+
+	var local *telemetry.Shipper
+	if plane != nil {
+		local = telemetry.NewShipper(0, ob)
+		plane.Merger().BindLocal(0, ob.Registry())
+		plane.Health().SetState("training")
+		for w := 1; w < comm.Size(); w++ {
+			plane.Health().SetWorker(w, telemetry.WorkerLive)
+		}
+		syncWorkerClocks(comm, obj, plane, ob)
+	}
 	obj.SetParams(obj.theta)
 
+	var iterWall *obs.Histogram
 	if reg := ob.Registry(); reg != nil {
 		// Epoch accounting: the wall time of each outer HF iteration,
 		// observed from the telemetry hook (chained, not replaced).
-		iterWall := reg.Histogram("core.hf.iter_wall_ns")
+		iterWall = reg.Histogram("core.hf.iter_wall_ns")
+	}
+	if iterWall != nil || plane != nil {
 		prev := cfg.Telemetry
 		last := time.Now()
+		flushEvery := plane.Config().FlushEvery
 		cfg.Telemetry = func(s hf.IterStats) {
 			now := time.Now()
 			iterWall.Observe(now.Sub(last).Nanoseconds())
 			last = now
+			if plane != nil {
+				plane.Health().SetProgress(s.Iter, s.Loss)
+				if flushEvery > 0 && s.Iter%flushEvery == 0 {
+					collectTelemetry(comm, obj, plane, local, ob)
+				}
+			}
 			if prev != nil {
 				prev(s)
 			}
@@ -277,10 +363,17 @@ func runMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner
 
 	res := hf.Optimize(obj, cfg)
 	acc := obj.heldOutAccuracy()
+	if plane != nil {
+		// Final flush while the workers are still in their command loop,
+		// so the merged trace covers the run's tail.
+		collectTelemetry(comm, obj, plane, local, ob)
+	}
 	obj.stop()
 	if err := obj.Err(); err != nil {
+		plane.Health().SetState("failed")
 		return nil, err
 	}
+	plane.Health().SetState("done")
 	return &MasterResult{
 		Params:          obj.theta.Clone(),
 		HF:              res,
@@ -366,9 +459,12 @@ func recvShard(comm *mpi.Comm) (*engine, *wireShard, error) {
 // non-nil observer adds per-phase spans labelled with this worker's
 // rank, shard-size gauges, and a counter of time spent blocked on the
 // master's command broadcast ("core.worker.<rank>.wait_ns" — the
-// straggler/idle signal of the paper's Figure 5). Entry point:
-// Session.Run.
-func runWorker(comm *mpi.Comm, ob *obs.Observer) error {
+// straggler/idle signal of the paper's Figure 5). A non-nil shipper
+// answers the master's opClockSync/opTelemetry commands by serving
+// clock pings and shipping drained span/metric bundles (a nil shipper
+// still answers with empty bundles, keeping the protocol matched).
+// Entry point: Session.Run.
+func runWorker(comm *mpi.Comm, ob *obs.Observer, ship *telemetry.Shipper) error {
 	rank := comm.Rank()
 	if rank == 0 {
 		return fmt.Errorf("core: worker run on rank 0")
@@ -405,7 +501,7 @@ func runWorker(comm *mpi.Comm, ob *obs.Observer) error {
 		if wait != nil {
 			wait.Add(time.Since(t0).Nanoseconds())
 		}
-		done, err := workerStep(comm, eng, ob, cmd[0], cmd[1], paramBuf)
+		done, err := workerStep(comm, eng, ob, ship, cmd[0], cmd[1], paramBuf)
 		if done || err != nil {
 			return err
 		}
@@ -415,7 +511,7 @@ func runWorker(comm *mpi.Comm, ob *obs.Observer) error {
 // workerStep serves one master command on a worker rank; done reports
 // opStop. Split out of the command loop so every opcode's span can End
 // by defer regardless of how the case exits.
-func workerStep(comm *mpi.Comm, eng *engine, ob *obs.Observer, op, arg float32, paramBuf tensor.Vector) (done bool, err error) {
+func workerStep(comm *mpi.Comm, eng *engine, ob *obs.Observer, ship *telemetry.Shipper, op, arg float32, paramBuf tensor.Vector) (done bool, err error) {
 	rank := comm.Rank()
 	dim := len(paramBuf)
 	switch op {
@@ -495,6 +591,16 @@ func workerStep(comm *mpi.Comm, eng *engine, ob *obs.Observer, op, arg float32, 
 			return false, err
 		}
 		if err := comm.ReduceF64(0, mpi.OpSum, []float64{float64(frames)}); err != nil {
+			return false, err
+		}
+	case opClockSync:
+		comm.SetPhase("telemetry")
+		if err := telemetry.ServeClockSync(comm, 0, int(arg)); err != nil {
+			return false, err
+		}
+	case opTelemetry:
+		comm.SetPhase("telemetry")
+		if err := ship.Ship(comm, 0); err != nil {
 			return false, err
 		}
 	case opStop:

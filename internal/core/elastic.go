@@ -40,6 +40,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -168,6 +169,11 @@ type FaultReport struct {
 	Surrendered bool `json:"surrendered"`
 	// FinalWorkers is the live worker count at the end of the run.
 	FinalWorkers int `json:"final_workers"`
+	// Flight is the flight recorder's post-mortem bundle captured at the
+	// latest fault: the last window of spans, event-log entries and
+	// metric deltas from every reachable rank. Nil when the run had no
+	// telemetry plane or no fault.
+	Flight *telemetry.FlightBundle `json:"flight,omitempty"`
 }
 
 // SurrenderError is returned when the elastic runtime exhausts its
@@ -280,6 +286,10 @@ func opName(op float32) string {
 		return "fisher_diag"
 	case opStop:
 		return "stop"
+	case opClockSync:
+		return "clock_sync"
+	case opTelemetry:
+		return "telemetry"
 	}
 	return fmt.Sprintf("op%v", op)
 }
@@ -337,6 +347,12 @@ type elasticMaster struct {
 	report  FaultReport
 	pingSeq uint32
 
+	// plane/local are the telemetry plane and the master's own shipper;
+	// both nil when the run has no telemetry. Telemetry traffic is
+	// best-effort and never evicts.
+	plane *telemetry.Plane
+	local *telemetry.Shipper
+
 	// epochHook advances fault-injection epochs on the master's own
 	// transport (spawn mode wires it to FaultTransport.SetEpoch).
 	epochHook func(int)
@@ -348,7 +364,7 @@ type suspectRank struct {
 	cause error
 }
 
-func newElasticMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer, pol FaultPolicy, ckpt CheckpointPolicy, epochHook func(int)) *elasticMaster {
+func newElasticMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer, pol FaultPolicy, ckpt CheckpointPolicy, plane *telemetry.Plane, epochHook func(int)) *elasticMaster {
 	filled := pol.filled()
 	return &elasticMaster{
 		comm:        comm,
@@ -361,12 +377,13 @@ func newElasticMaster(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Part
 		report:      FaultReport{MaxEvictions: filled.MaxEvictions},
 		trainShards: map[int][]*corpus.Utterance{},
 		heldShards:  map[int][]*corpus.Utterance{},
+		plane:       plane,
 		epochHook:   epochHook,
 	}
 }
 
 // runElastic is the rank-0 entry point of the fault-tolerant runtime.
-func runElastic(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer, pol FaultPolicy, ckpt CheckpointPolicy, epochHook func(int)) (*MasterResult, error) {
+func runElastic(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitioner, ob *obs.Observer, pol FaultPolicy, ckpt CheckpointPolicy, plane *telemetry.Plane, epochHook func(int)) (*MasterResult, error) {
 	if comm.Rank() != 0 {
 		return nil, fmt.Errorf("core: master run on rank %d", comm.Rank())
 	}
@@ -382,7 +399,7 @@ func runElastic(comm *mpi.Comm, p Problem, cfg hf.Config, part corpus.Partitione
 	}
 	comm.SetMetrics(ob.Registry())
 
-	m := newElasticMaster(comm, p, cfg, part, ob, pol, ckpt, epochHook)
+	m := newElasticMaster(comm, p, cfg, part, ob, pol, ckpt, plane, epochHook)
 	return m.run()
 }
 
@@ -412,6 +429,16 @@ func (m *elasticMaster) run() (*MasterResult, error) {
 	m.dim = net.NumParams()
 	m.theta = net.Params.Clone()
 
+	if m.plane != nil {
+		m.local = telemetry.NewShipper(0, m.ob)
+		m.plane.Merger().BindLocal(0, m.ob.Registry())
+		m.plane.Health().SetState("training")
+		for _, w := range m.live {
+			m.plane.Health().SetWorker(w, telemetry.WorkerLive)
+		}
+		m.syncClocks()
+	}
+
 	// Mirror hf.Config's MaxIterations default so the resume loop's
 	// remaining-iterations arithmetic matches what Optimize will run.
 	if m.cfg.MaxIterations <= 0 {
@@ -430,12 +457,16 @@ func (m *elasticMaster) run() (*MasterResult, error) {
 		for err != nil {
 			var fu *errFaultUnwind
 			if !errors.As(err, &fu) {
+				m.plane.Health().SetState("failed")
 				m.stopAll()
 				return nil, err
 			}
 			m.report.FinalWorkers = len(m.live)
+			m.captureFlight(m.flightReason(fu.cause))
 			if len(m.live) == 0 || len(m.report.Evictions) > m.pol.MaxEvictions {
 				m.report.Surrendered = true
+				m.captureFlight("surrender: " + m.flightReason(fu.cause))
+				m.plane.Health().SetState("failed")
 				m.stopAll()
 				return nil, &SurrenderError{Report: &m.report, Cause: fu.cause}
 			}
@@ -446,6 +477,8 @@ func (m *elasticMaster) run() (*MasterResult, error) {
 	}
 
 	acc := m.accuracy()
+	m.collectTelemetry()
+	m.plane.Health().SetState("done")
 	m.stopAll()
 	m.report.FinalWorkers = len(m.live)
 	return &MasterResult{
@@ -546,6 +579,97 @@ func (m *elasticMaster) onIter(s hf.IterStats, iterWall *obs.Histogram) {
 	// The State hook (which snapshots) fires right after this and needs
 	// the iteration's held-out loss; IterStats is the only carrier.
 	m.lastLoss = s.Loss
+	if m.plane != nil {
+		m.plane.Health().SetProgress(s.Iter, s.Loss)
+		if fe := m.plane.Config().FlushEvery; fe > 0 && s.Iter%fe == 0 {
+			m.collectTelemetry()
+		}
+	}
+}
+
+// syncClocks runs the telemetry clock-offset handshake against every
+// live worker over the star protocol; best-effort, never evicts.
+func (m *elasticMaster) syncClocks() {
+	tcfg := m.plane.Config()
+	m.comm.SetPhase("telemetry")
+	for _, w := range m.live {
+		body := emEncode(emOp, m.round, emOpBody(opClockSync, float32(tcfg.ClockSyncRounds), nil))
+		if err := m.comm.SendBytes(w, tagElastic, body); err != nil {
+			m.ob.Eventf(0, "telemetry: clock sync send to rank %d: %v", w, err)
+			continue
+		}
+		offset, rtt, err := telemetry.SyncClocks(m.comm, w, tcfg.ClockSyncRounds, tcfg.Deadline)
+		if err != nil {
+			m.ob.Eventf(0, "telemetry: clock sync with rank %d: %v", w, err)
+			continue
+		}
+		m.plane.Merger().SetOffset(w, offset)
+		if reg := m.ob.Registry(); reg != nil {
+			reg.Histogram("telemetry.clock_rtt_ns").Observe(rtt.Nanoseconds())
+		}
+	}
+}
+
+// collectTelemetry asks every live worker to ship its drained telemetry
+// bundle and folds the shipments plus the master's own drained observer
+// into the merger. Runs at iteration boundaries and around faults;
+// best-effort, never evicts — a straggling shipment is merged by the
+// next collection instead (bundles carry absolute timestamps, so
+// late merges are harmless).
+func (m *elasticMaster) collectTelemetry() {
+	if m.plane == nil {
+		return
+	}
+	start := time.Now()
+	defer func() {
+		if reg := m.ob.Registry(); reg != nil {
+			reg.Histogram("telemetry.collect_ns").Observe(time.Since(start).Nanoseconds())
+		}
+	}()
+	tcfg := m.plane.Config()
+	m.comm.SetPhase("telemetry")
+	body := emEncode(emOp, m.round, emOpBody(opTelemetry, 0, nil))
+	for _, w := range m.live {
+		if err := m.comm.SendBytes(w, tagElastic, body); err != nil {
+			m.ob.Eventf(0, "telemetry: collect send to rank %d: %v", w, err)
+			continue
+		}
+		msg, err := m.comm.RecvBytesTimeout(w, mpi.TagTelemetry, tcfg.Deadline)
+		if err != nil {
+			m.ob.Eventf(0, "telemetry: collect from rank %d: %v", w, err)
+			continue
+		}
+		b, err := telemetry.DecodeBundle(msg.Data)
+		if err != nil {
+			m.ob.Eventf(0, "telemetry: decode from rank %d: %v", w, err)
+			continue
+		}
+		m.plane.Merger().Ingest(b)
+	}
+	m.plane.Merger().Ingest(m.local.Bundle())
+}
+
+// flightReason names a fault for the flight-recorder bundle, preferring
+// the structured eviction record over the raw cause.
+func (m *elasticMaster) flightReason(cause error) string {
+	if n := len(m.report.Evictions); n > 0 {
+		ev := m.report.Evictions[n-1]
+		return fmt.Sprintf("eviction rank %d during %s (round %d, iter %d): %s",
+			ev.Rank, ev.Op, ev.Round, ev.HFIter, ev.Cause)
+	}
+	return causeOf(cause)
+}
+
+// captureFlight snapshots the last telemetry window into the fault
+// report's post-mortem bundle. Survivors ship their freshest spans
+// first; the evicted rank's pre-fault activity is already in the merger
+// from the iteration-boundary flushes before it died.
+func (m *elasticMaster) captureFlight(reason string) {
+	if m.plane == nil {
+		return
+	}
+	m.collectTelemetry()
+	m.report.Flight = m.plane.Recorder().Capture(m.plane.Merger(), reason)
 }
 
 // snapshot records the rewind point at the current θ.
@@ -704,6 +828,8 @@ func (m *elasticMaster) evict(suspects []suspectRank, op string) {
 			reg.Counter("core.elastic.evictions").Inc()
 			reg.Gauge("core.elastic.live_workers").Set(float64(len(m.live)))
 		}
+		m.plane.Health().SetWorker(s.rank, telemetry.WorkerEvicted)
+		m.plane.Health().SetState("degraded")
 		m.ob.Eventf(0, "elastic: evicted rank %d during %s (round %d, iter %d): %v",
 			s.rank, op, m.round, m.curIter, s.cause)
 	}
@@ -994,8 +1120,11 @@ func (o *elasticObjective) CurvatureDiag(lambda float64) tensor.Vector {
 // runElasticWorker is the non-zero-rank side of the elastic runtime: a
 // loop over single-message commands. epochHook, when non-nil, receives
 // the global HF iteration as the worker learns it (opSample), advancing
-// fault-injection epochs in drills. Entry point: Session.Run.
-func runElasticWorker(comm *mpi.Comm, ob *obs.Observer, epochHook func(int)) error {
+// fault-injection epochs in drills. A non-nil shipper answers the
+// master's opClockSync/opTelemetry commands (nil still answers with
+// empty bundles, keeping the protocol matched). Entry point:
+// Session.Run.
+func runElasticWorker(comm *mpi.Comm, ob *obs.Observer, ship *telemetry.Shipper, epochHook func(int)) error {
 	rank := comm.Rank()
 	if rank == 0 {
 		return fmt.Errorf("core: worker run on rank 0")
@@ -1073,7 +1202,7 @@ func runElasticWorker(comm *mpi.Comm, ob *obs.Observer, epochHook func(int)) err
 			op := float32(body[0])
 			arg := math.Float32frombits(binary.LittleEndian.Uint32(body[1:5]))
 			payload := body[5:]
-			if err := elasticWorkerOp(comm, eng, ob, round, op, arg, payload, paramBuf, epochHook); err != nil {
+			if err := elasticWorkerOp(comm, eng, ob, ship, round, op, arg, payload, paramBuf, epochHook); err != nil {
 				return fmt.Errorf("core: worker %d %s: %w", rank, opName(op), err)
 			}
 		default:
@@ -1084,7 +1213,7 @@ func runElasticWorker(comm *mpi.Comm, ob *obs.Observer, epochHook func(int)) err
 
 // elasticWorkerOp serves one emOp command: compute locally, then send
 // exactly one reply (for ops that have one) tagged with the round.
-func elasticWorkerOp(comm *mpi.Comm, eng *engine, ob *obs.Observer, round int, op, arg float32, payload []byte, paramBuf tensor.Vector, epochHook func(int)) error {
+func elasticWorkerOp(comm *mpi.Comm, eng *engine, ob *obs.Observer, ship *telemetry.Shipper, round int, op, arg float32, payload []byte, paramBuf tensor.Vector, epochHook func(int)) error {
 	rank := comm.Rank()
 	dim := len(paramBuf)
 	reply := func(data []byte) error {
@@ -1154,6 +1283,14 @@ func elasticWorkerOp(comm *mpi.Comm, eng *engine, ob *obs.Observer, round int, o
 		diag := tensor.NewVector(dim)
 		frames := eng.fisherDiag(diag)
 		return reply(append(encodeVec(diag), encodeF64Pair(float64(frames), 0)...))
+	case opClockSync:
+		// Telemetry traffic replies on its own fixed tags, not the
+		// round-tagged reply stream.
+		comm.SetPhase("telemetry")
+		return telemetry.ServeClockSync(comm, 0, int(arg))
+	case opTelemetry:
+		comm.SetPhase("telemetry")
+		return ship.Ship(comm, 0)
 	}
 	return fmt.Errorf("unknown opcode %v", op)
 }

@@ -33,11 +33,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/hf"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // FabricKind selects the transport a spawn-mode Session builds.
@@ -84,6 +86,7 @@ type sessionOptions struct {
 	check    *mpi.CheckConfig
 	faults   *FaultPolicy
 	ckpt     *CheckpointPolicy
+	tele     *telemetry.Config
 }
 
 // Option configures a Session.
@@ -143,11 +146,23 @@ func WithCheckpoint(pol CheckpointPolicy) Option {
 	return func(o *sessionOptions) { o.ckpt = &pol }
 }
 
+// WithTelemetry enables the distributed telemetry plane: a clock-offset
+// handshake at session start, per-iteration shipment of every rank's
+// spans/metrics/events to the master's merger (one merged trace on a
+// common timebase), a flight recorder for post-mortem fault bundles,
+// and live health state. Read the plane back with Session.Telemetry —
+// e.g. to serve it over HTTP with telemetry.NewServer. The zero Config
+// selects defaults.
+func WithTelemetry(cfg telemetry.Config) Option {
+	return func(o *sessionOptions) { o.tele = &cfg }
+}
+
 // Session is a configured distributed training run. Build with
 // NewSession; execute with Run.
 type Session struct {
-	p   Problem
-	opt sessionOptions
+	p     Problem
+	opt   sessionOptions
+	plane *telemetry.Plane
 }
 
 // NewSession validates the option set against the problem and returns a
@@ -197,7 +212,29 @@ func NewSession(p Problem, opts ...Option) (*Session, error) {
 			return nil, err
 		}
 	}
-	return &Session{p: p, opt: o}, nil
+	s := &Session{p: p, opt: o}
+	if o.tele != nil && (o.comm == nil || o.comm.Rank() == 0) {
+		// Build the plane eagerly so callers can serve it over HTTP
+		// before Run starts (telemetry.NewServer(addr, sess.Telemetry())).
+		epoch := o.ob.Tracer().Epoch()
+		if epoch.IsZero() {
+			epoch = time.Now()
+		}
+		s.plane = telemetry.NewPlane(o.tele.Filled(), epoch)
+		s.plane.Merger().BindLocal(0, o.ob.Registry())
+	}
+	return s, nil
+}
+
+// Telemetry returns the session's telemetry plane: non-nil only on the
+// rank that runs the master (rank 0, or any spawn-mode session) when
+// WithTelemetry was given. Available before Run so the monitoring
+// endpoint can be up for the whole run.
+func (s *Session) Telemetry() *telemetry.Plane {
+	if s == nil {
+		return nil
+	}
+	return s.plane
 }
 
 // ckptPolicy resolves the effective checkpoint policy for elastic runs.
@@ -222,15 +259,19 @@ func (s *Session) runAttached(cfg hf.Config) (*MasterResult, error) {
 	comm, o := s.opt.comm, &s.opt
 	if comm.Rank() == 0 {
 		if o.faults != nil {
-			return runElastic(comm, s.p, cfg, o.part, o.ob, *o.faults, s.ckptPolicy(), nil)
+			return runElastic(comm, s.p, cfg, o.part, o.ob, *o.faults, s.ckptPolicy(), s.plane, nil)
 		}
 		//lint:ignore commcheck rank dispatch is the protocol: rank 0 runs the master sender, every other rank runs the matching worker loop below
-		return runMaster(comm, s.p, cfg, o.part, o.ob)
+		return runMaster(comm, s.p, cfg, o.part, o.ob, s.plane)
+	}
+	var ship *telemetry.Shipper
+	if o.tele != nil {
+		ship = telemetry.NewShipper(comm.Rank(), o.ob)
 	}
 	if o.faults != nil {
-		return nil, runElasticWorker(comm, o.ob, nil)
+		return nil, runElasticWorker(comm, o.ob, ship, nil)
 	}
-	return nil, runWorker(comm, o.ob)
+	return nil, runWorker(comm, o.ob, ship)
 }
 
 // rankErr pairs a worker error with its rank so elastic joins can
@@ -290,11 +331,22 @@ func (s *Session) runSpawned(cfg hf.Config) (*MasterResult, error) {
 		go func(r int) {
 			comm := comms[r]
 			defer comm.Close()
+			// With telemetry on, each spawned worker observes into its own
+			// private observer and ships it over the fabric — the same
+			// aggregation path a true multi-process deployment exercises.
+			// Without it, ranks share o.ob directly (nil ship still answers
+			// the master's telemetry commands with empty bundles).
+			wob := o.ob
+			var ship *telemetry.Shipper
+			if s.plane != nil {
+				wob = &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(), Events: obs.NewEventLog(0)}
+				ship = telemetry.NewShipper(r, wob)
+			}
 			var err error
 			if o.faults != nil {
-				err = runElasticWorker(comm, o.ob, epochHooks[r])
+				err = runElasticWorker(comm, wob, ship, epochHooks[r])
 			} else {
-				err = runWorker(comm, o.ob)
+				err = runWorker(comm, wob, ship)
 			}
 			workerErrs <- rankErr{rank: r, err: err}
 		}(r)
@@ -305,11 +357,17 @@ func (s *Session) runSpawned(cfg hf.Config) (*MasterResult, error) {
 	var res *MasterResult
 	var err error
 	if o.faults != nil {
-		res, err = runElastic(master, s.p, cfg, o.part, o.ob, *o.faults, s.ckptPolicy(), epochHooks[0])
+		res, err = runElastic(master, s.p, cfg, o.part, o.ob, *o.faults, s.ckptPolicy(), s.plane, epochHooks[0])
 	} else {
-		res, err = runMaster(master, s.p, cfg, o.part, o.ob)
+		res, err = runMaster(master, s.p, cfg, o.part, o.ob, s.plane)
 	}
 	if err != nil {
+		if s.plane != nil {
+			s.plane.Health().SetState("failed")
+			if s.plane.Recorder().Last() == nil {
+				s.plane.Recorder().Capture(s.plane.Merger(), "master error: "+err.Error())
+			}
+		}
 		// Unblock workers still parked in a Recv before draining them.
 		for r := 1; r < ranks; r++ {
 			_ = comms[r].Close() // best-effort: the master's error is primary

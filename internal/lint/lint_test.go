@@ -87,9 +87,12 @@ func TestFixtureFindings(t *testing.T) {
 			"23:6 hotpathalloc warn",
 		},
 		"obsnilguard.go": {
-			"8:2 obsnilguard error",
-			"9:6 obsnilguard error",
-			"60:2 obsnilguard error",
+			"12:2 obsnilguard error",
+			"13:6 obsnilguard error",
+			"64:2 obsnilguard error",
+			"78:6 obsnilguard error",
+			"79:6 obsnilguard error",
+			"80:6 obsnilguard error",
 		},
 		"commcheck.go": {
 			"90:14 commcheck error",  // kind mismatch (reduce vs bcast)

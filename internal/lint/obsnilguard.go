@@ -7,11 +7,13 @@ import (
 )
 
 // ObsNilGuard enforces the observability layer's nil-safety contract at
-// its boundary: the Metrics, Trace and Events fields of *obs.Observer
-// must not be accessed directly outside package obs, because a nil *Observer — the
-// documented "observability disabled" state threaded through every
-// training entry point — panics on field selection. The established idiom
-// is the nil-safe accessor surface: ob.Registry(), ob.Tracer(), ob.Span().
+// its boundary: the Metrics, Trace and Events fields of *obs.Observer —
+// and the Traces, Flight and Status fields of *telemetry.Plane — must
+// not be accessed directly outside the obs tree, because a nil pointer —
+// the documented "observability disabled" state threaded through every
+// training entry point — panics on field selection. The established
+// idiom is the nil-safe accessor surface: ob.Registry(), ob.Tracer(),
+// ob.Span(), and plane.Merger(), plane.Recorder(), plane.Health().
 //
 // A direct field access is accepted only under an explicit nil guard: an
 // enclosing `if ob != nil` (or the else-branch of `if ob == nil`), or a
@@ -19,22 +21,34 @@ import (
 // function body.
 type ObsNilGuard struct{}
 
-// obsPkgPath is the package whose contract this analyzer enforces; its
-// own methods implement the nil checks and are exempt.
-const obsPkgPath = "repro/internal/obs"
+// obsPkgPath and telemetryPkgPath are the packages whose contracts this
+// analyzer enforces; their own methods implement the nil checks and are
+// exempt.
+const (
+	obsPkgPath       = "repro/internal/obs"
+	telemetryPkgPath = "repro/internal/obs/telemetry"
+)
+
+// nilGuardedField maps each guarded struct field to the nil-safe
+// accessor that replaces it, keyed by owning type.
+var nilGuardedFields = map[string]map[string]string{
+	"Observer": {"Metrics": "Registry", "Trace": "Tracer", "Events": "EventLog"},
+	"Plane":    {"Traces": "Merger", "Flight": "Recorder", "Status": "Health"},
+}
 
 // Name implements Analyzer.
 func (ObsNilGuard) Name() string { return "obsnilguard" }
 
 // Doc implements Analyzer.
 func (ObsNilGuard) Doc() string {
-	return "unguarded Metrics/Trace/Events field access on a possibly-nil *obs.Observer; " +
-		"use the nil-safe Registry()/Tracer()/Span()/EventLog() accessors or guard with `if ob != nil`"
+	return "unguarded Metrics/Trace/Events field access on a possibly-nil *obs.Observer " +
+		"(or Traces/Flight/Status on a possibly-nil *telemetry.Plane); " +
+		"use the nil-safe accessors or guard with `if ob != nil`"
 }
 
 // Run implements Analyzer.
 func (o ObsNilGuard) Run(p *Package) []Finding {
-	if p.ImportPath == obsPkgPath {
+	if p.ImportPath == obsPkgPath || p.ImportPath == telemetryPkgPath {
 		return nil
 	}
 	var out []Finding
@@ -43,16 +57,21 @@ func (o ObsNilGuard) Run(p *Package) []Finding {
 		if !ok {
 			return true
 		}
-		if sel.Sel.Name != "Metrics" && sel.Sel.Name != "Trace" && sel.Sel.Name != "Events" {
-			return true
-		}
 		s := p.Info.Selections[sel]
 		if s == nil || s.Kind() != types.FieldVal {
 			return true
 		}
-		// Only pointer receivers can be nil; value Observers are safe.
+		// Only pointer receivers can be nil; value Observers/Planes are safe.
 		ptr, ok := p.Info.TypeOf(sel.X).(*types.Pointer)
-		if !ok || !isObsObserver(ptr.Elem()) {
+		if !ok {
+			return true
+		}
+		owner, typeLabel := guardedOwner(ptr.Elem())
+		if owner == "" {
+			return true
+		}
+		accessor, ok := nilGuardedFields[owner][sel.Sel.Name]
+		if !ok {
 			return true
 		}
 		recv := types.ExprString(sel.X)
@@ -61,21 +80,28 @@ func (o ObsNilGuard) Run(p *Package) []Finding {
 			return true
 		}
 		out = append(out, p.finding(o, SevError, sel,
-			"%s.%s accessed without a nil guard; a nil *obs.Observer (observability disabled) panics here — use %s.%s() instead",
-			recv, sel.Sel.Name, recv, map[string]string{"Metrics": "Registry", "Trace": "Tracer", "Events": "EventLog"}[sel.Sel.Name]))
+			"%s.%s accessed without a nil guard; a nil %s (observability disabled) panics here — use %s.%s() instead",
+			recv, sel.Sel.Name, typeLabel, recv, accessor))
 		return true
 	})
 	return out
 }
 
-// isObsObserver reports whether t is the named type obs.Observer.
-func isObsObserver(t types.Type) bool {
+// guardedOwner reports which nil-guarded type t is — "Observer" or
+// "Plane" — plus its human-readable label, or "" when t is neither.
+func guardedOwner(t types.Type) (owner, label string) {
 	named, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return "", ""
 	}
 	obj := named.Obj()
-	return obj.Name() == "Observer" && pkgPath(obj) == obsPkgPath
+	switch {
+	case obj.Name() == "Observer" && pkgPath(obj) == obsPkgPath:
+		return "Observer", "*obs.Observer"
+	case obj.Name() == "Plane" && pkgPath(obj) == telemetryPkgPath:
+		return "Plane", "*telemetry.Plane"
+	}
+	return "", ""
 }
 
 // guardedByEnclosingIf reports whether node sits in the then-branch of an

@@ -67,6 +67,20 @@ const (
 	tagAllredRD  = 7 << 24
 )
 
+// Reserved tags for the telemetry plane (internal/obs/telemetry). They
+// live in the user tag space, just above the trainer's shard tags
+// (9000-9105) and below the elastic command tag (9500 — see
+// internal/core), so telemetry traffic never collides with training
+// traffic or the collective tag blocks above.
+const (
+	// TagClockSync carries the master↔worker RTT ping/pong rounds that
+	// estimate each worker's clock offset at session start.
+	TagClockSync = 9600
+	// TagTelemetry carries worker→master span/metric bundle shipments
+	// at iteration boundaries, off the collective critical path.
+	TagTelemetry = 9601
+)
+
 // isPowerOfTwo reports whether n is a positive power of two.
 func isPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 

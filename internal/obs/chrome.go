@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event, "M" = metadata). Timestamps and durations are in
+// microseconds, the unit the format specifies.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format, the
+// shape chrome://tracing and Perfetto both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// assignLanes gives every event a thread lane within its rank's process
+// track. Spans fully nested inside the lane's innermost open span stay
+// on that lane (the viewer renders proper nesting); a span that
+// partially overlaps every open lane — a genuinely concurrent interval,
+// e.g. CG worker goroutines or communication overlapped with compute —
+// opens a new lane, so concurrent work renders side by side instead of
+// collapsing onto one corrupted track. events must be ordered by start
+// time with ties broken longer-first (SortEvents).
+func assignLanes(events []Event) []int {
+	lanes := map[int][][]time.Duration{} // rank → per-lane stack of open-span ends
+	out := make([]int, len(events))
+	for i, ev := range events {
+		rl := lanes[ev.Rank]
+		end := ev.Start + ev.Dur
+		placed := -1
+		for l := range rl {
+			// Pop spans that ended before this one starts.
+			stack := rl[l]
+			for len(stack) > 0 && stack[len(stack)-1] <= ev.Start {
+				stack = stack[:len(stack)-1]
+			}
+			rl[l] = stack
+			if len(stack) == 0 || stack[len(stack)-1] >= end {
+				placed = l
+				rl[l] = append(stack, end)
+				break
+			}
+		}
+		if placed < 0 {
+			placed = len(rl)
+			rl = append(rl, []time.Duration{end})
+		}
+		lanes[ev.Rank] = rl
+		out[i] = placed
+	}
+	return out
+}
+
+// rankLabel names a rank's process track; rank 0 is the master in the
+// trainer's convention.
+func rankLabel(rank int) string {
+	if rank == 0 {
+		return "rank 0 (master)"
+	}
+	return fmt.Sprintf("rank %d", rank)
+}
+
+// WriteChromeEvents writes events (already sorted by SortEvents) in
+// Chrome trace-event JSON. Each rank becomes one process track
+// (pid = rank) labeled by a process_name metadata event; within a rank,
+// concurrent spans are spread over distinct thread lanes (tid = lane)
+// labeled "lane N" by thread_name metadata, so overlapping work from
+// worker goroutines renders correctly in Perfetto. Open the output at
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeEvents(w io.Writer, events []Event) error {
+	laneOf := assignLanes(events)
+	seenRank := map[int]bool{}
+	seenLane := map[[2]int]bool{}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for i, ev := range events {
+		if !seenRank[ev.Rank] {
+			seenRank[ev.Rank] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: ev.Rank,
+				Args: map[string]any{"name": rankLabel(ev.Rank)},
+			})
+		}
+		lane := laneOf[i]
+		if key := [2]int{ev.Rank, lane}; !seenLane[key] {
+			seenLane[key] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: ev.Rank, Tid: lane,
+				Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name, Ph: "X", Pid: ev.Rank, Tid: lane,
+			Ts:  float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur: float64(ev.Dur.Nanoseconds()) / 1e3,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteChromeTrace writes all recorded spans in Chrome trace-event JSON
+// (see WriteChromeEvents); nil-safe (writes an empty trace).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeEvents(w, t.Events())
+}

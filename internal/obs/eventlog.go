@@ -16,7 +16,8 @@ type EventLog struct {
 	mu      sync.Mutex
 	cap     int
 	entries []LogEntry
-	start   int // index of oldest entry when the ring is full
+	start   int   // index of oldest entry when the ring is full
+	seq     int64 // total entries ever appended (cursor for EntriesSince)
 }
 
 // LogEntry is one recorded event.
@@ -54,7 +55,44 @@ func (l *EventLog) Addf(rank int, format string, args ...any) {
 		l.entries[l.start] = e
 		l.start = (l.start + 1) % l.cap
 	}
+	l.seq++
 	l.mu.Unlock()
+}
+
+// Seq returns the total number of entries ever appended (including any
+// the ring has since overwritten) — a cursor for EntriesSince; nil-safe.
+func (l *EventLog) Seq() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// EntriesSince returns the retained entries appended after cursor seq
+// (a value previously returned by Seq or EntriesSince; pass 0 for
+// everything retained) plus the new cursor. Entries overwritten by the
+// ring before the call are silently missing — the telemetry shipper's
+// incremental reads tolerate that the same way span drops are
+// tolerated; nil-safe.
+func (l *EventLog) EntriesSince(seq int64) ([]LogEntry, int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	newer := l.seq - seq
+	if newer <= 0 {
+		return nil, l.seq
+	}
+	if n := int64(len(l.entries)); newer > n {
+		newer = n
+	}
+	all := make([]LogEntry, 0, len(l.entries))
+	all = append(all, l.entries[l.start:]...)
+	all = append(all, l.entries[:l.start]...)
+	return all[int64(len(all))-newer:], l.seq
 }
 
 // Entries returns a copy of the retained events, oldest first; nil-safe.

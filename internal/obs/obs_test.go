@@ -213,6 +213,16 @@ func TestChromeTraceGolden(t *testing.T) {
    }
   },
   {
+   "name": "thread_name",
+   "ph": "M",
+   "pid": 0,
+   "tid": 0,
+   "ts": 0,
+   "args": {
+    "name": "lane 0"
+   }
+  },
+  {
    "name": "load_data",
    "ph": "X",
    "pid": 0,
@@ -231,10 +241,20 @@ func TestChromeTraceGolden(t *testing.T) {
    }
   },
   {
+   "name": "thread_name",
+   "ph": "M",
+   "pid": 1,
+   "tid": 0,
+   "ts": 0,
+   "args": {
+    "name": "lane 0"
+   }
+  },
+  {
    "name": "gradient_loss",
    "ph": "X",
    "pid": 1,
-   "tid": 1,
+   "tid": 0,
    "ts": 1000,
    "dur": 500
   }

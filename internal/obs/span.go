@@ -1,11 +1,9 @@
 package obs
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,23 +16,63 @@ type Event struct {
 	Dur   time.Duration
 }
 
+// DefaultTracerCap bounds the spans a NewTracer retains. At ~48 bytes
+// per Event the default ring tops out around 12 MiB per rank, after
+// which the oldest spans are overwritten (and counted by Dropped) —
+// long elastic runs must never OOM the tracer.
+const DefaultTracerCap = 1 << 18
+
 // Tracer collects spans from any number of goroutines ("ranks" of the
 // in-process fabric or threads of one real rank) and exports them as
-// Chrome trace-event JSON. The nil Tracer is a valid, disabled tracer:
-// Begin returns a no-op Span without reading the clock or allocating.
+// Chrome trace-event JSON. Storage is a bounded ring: when the capacity
+// is reached the oldest span is dropped and the Dropped counter
+// incremented, so tracing a long run costs bounded memory. The nil
+// Tracer is a valid, disabled tracer: Begin returns a no-op Span
+// without reading the clock or allocating.
 type Tracer struct {
 	now   func() time.Time // clock; replaceable by tests
 	epoch time.Time
+	cap   int
 
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event // ring storage, len <= cap
+	start   int     // index of the oldest event when the ring is full
+	dropped atomic.Int64
 }
 
-// NewTracer returns a tracer whose epoch (trace time zero) is now.
-func NewTracer() *Tracer {
-	t := &Tracer{now: time.Now}
+// NewTracer returns a tracer with the default span capacity whose epoch
+// (trace time zero) is now.
+func NewTracer() *Tracer { return NewTracerSize(0) }
+
+// NewTracerSize returns a tracer retaining at most size spans
+// (DefaultTracerCap when size <= 0); the oldest spans are dropped —
+// and counted — once the ring fills.
+func NewTracerSize(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultTracerCap
+	}
+	t := &Tracer{now: time.Now, cap: size}
 	t.epoch = t.now()
 	return t
+}
+
+// Epoch returns the tracer's trace-time zero in wall-clock terms — the
+// reference the telemetry plane's clock-offset correction aligns across
+// ranks; nil-safe (returns the zero time).
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Dropped returns the number of spans overwritten by the ring's drop
+// policy since construction (or the last Drain); nil-safe.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // Span is an open interval returned by Begin; call End exactly once.
@@ -66,9 +104,24 @@ func (s Span) End() {
 		Start: s.start.Sub(s.t.epoch),
 		Dur:   end.Sub(s.start),
 	}
-	s.t.mu.Lock()
-	s.t.events = append(s.t.events, ev)
-	s.t.mu.Unlock()
+	t := s.t
+	t.mu.Lock()
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+	} else {
+		t.events[t.start] = ev
+		t.start = (t.start + 1) % t.cap
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// snapshotLocked copies the retained events oldest-first; callers hold mu.
+func (t *Tracer) snapshotLocked() []Event {
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
 }
 
 // Events returns a copy of the recorded spans sorted by start time then
@@ -78,16 +131,42 @@ func (t *Tracer) Events() []Event {
 		return nil
 	}
 	t.mu.Lock()
-	out := make([]Event, len(t.events))
-	copy(out, t.events)
+	out := t.snapshotLocked()
 	t.mu.Unlock()
+	SortEvents(out)
+	return out
+}
+
+// Drain returns the retained spans (sorted like Events) and clears the
+// ring, so the caller — the telemetry plane's per-iteration shipper —
+// receives each span exactly once. The dropped counter is reset too and
+// its pre-drain value returned; nil-safe.
+func (t *Tracer) Drain() ([]Event, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	out := t.snapshotLocked()
+	t.events = t.events[:0]
+	t.start = 0
+	dropped := t.dropped.Swap(0)
+	t.mu.Unlock()
+	SortEvents(out)
+	return out, dropped
+}
+
+// SortEvents orders events by start time, then longer-first (so a parent
+// span precedes children opening at the same instant), then rank.
+func SortEvents(out []Event) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
 		return out[i].Rank < out[j].Rank
 	})
-	return out
 }
 
 // Ranks returns the distinct ranks that recorded at least one span, in
@@ -103,55 +182,4 @@ func (t *Tracer) Ranks() []int {
 	}
 	sort.Ints(ranks)
 	return ranks
-}
-
-// chromeEvent is one entry of the Chrome trace-event format ("X" =
-// complete event, "M" = metadata). Timestamps and durations are in
-// microseconds, the unit the format specifies.
-type chromeEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
-}
-
-// chromeTrace is the JSON-object form of the trace-event format, the
-// shape chrome://tracing and Perfetto both accept.
-type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
-}
-
-// WriteChromeTrace writes all recorded spans in Chrome trace-event JSON.
-// Each rank becomes one process track (pid = rank), labeled by a
-// process_name metadata event; rank 0 is the master in the trainer's
-// convention. Open the file at chrome://tracing or https://ui.perfetto.dev.
-func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := t.Events()
-	ranks := map[int]bool{}
-	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
-	for _, ev := range events {
-		if !ranks[ev.Rank] {
-			ranks[ev.Rank] = true
-			label := fmt.Sprintf("rank %d", ev.Rank)
-			if ev.Rank == 0 {
-				label = "rank 0 (master)"
-			}
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
-				Name: "process_name", Ph: "M", Pid: ev.Rank,
-				Args: map[string]any{"name": label},
-			})
-		}
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name: ev.Name, Ph: "X", Pid: ev.Rank, Tid: ev.Rank,
-			Ts:  float64(ev.Start.Nanoseconds()) / 1e3,
-			Dur: float64(ev.Dur.Nanoseconds()) / 1e3,
-		})
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
 }

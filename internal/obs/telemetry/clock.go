@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// clockServeDeadline bounds each worker-side wait for the next ping so
+// a dead master cannot wedge a worker inside the handshake.
+const clockServeDeadline = 10 * time.Second
+
+// SyncClocks measures worker's clock offset from this rank with rounds
+// RTT ping/pong exchanges on mpi.TagClockSync and returns the estimate
+// from the minimum-RTT round (the round least polluted by queueing
+// noise, the standard NTP trick). The offset is worker-clock minus
+// local-clock: subtract it from a worker timestamp to land on the local
+// timebase. deadline bounds each pong wait.
+func SyncClocks(c *mpi.Comm, worker, rounds int, deadline time.Duration) (offset, rtt time.Duration, err error) {
+	if rounds <= 0 {
+		rounds = DefaultClockSyncRounds
+	}
+	if deadline <= 0 {
+		deadline = DefaultDeadline
+	}
+	ping := make([]byte, 4)
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < rounds; i++ {
+		binary.LittleEndian.PutUint32(ping, uint32(i))
+		t0 := time.Now()
+		if err := c.SendBytes(worker, mpi.TagClockSync, ping); err != nil {
+			return 0, 0, fmt.Errorf("telemetry: clock ping to rank %d: %w", worker, err)
+		}
+		msg, err := c.RecvBytesTimeout(worker, mpi.TagClockSync, deadline)
+		if err != nil {
+			return 0, 0, fmt.Errorf("telemetry: clock pong from rank %d: %w", worker, err)
+		}
+		t1 := time.Now()
+		if len(msg.Data) != 12 || binary.LittleEndian.Uint32(msg.Data) != uint32(i) {
+			return 0, 0, fmt.Errorf("telemetry: bad clock pong from rank %d (len %d)", worker, len(msg.Data))
+		}
+		tw := int64(binary.LittleEndian.Uint64(msg.Data[4:]))
+		r := t1.Sub(t0)
+		if r < best {
+			// The worker stamped tw somewhere inside [t0, t1]; assume
+			// the midpoint, so the estimate's error is bounded by rtt/2.
+			best = r
+			offset = time.Duration(tw - t0.Add(r/2).UnixNano())
+		}
+	}
+	return offset, best, nil
+}
+
+// ServeClockSync answers rounds clock pings from master: each ping is
+// echoed back with this rank's wall-clock nanoseconds appended. Workers
+// call this at session start, mirroring the master's SyncClocks.
+func ServeClockSync(c *mpi.Comm, master, rounds int) error {
+	if rounds <= 0 {
+		rounds = DefaultClockSyncRounds
+	}
+	reply := make([]byte, 12)
+	for i := 0; i < rounds; i++ {
+		msg, err := c.RecvBytesTimeout(master, mpi.TagClockSync, clockServeDeadline)
+		if err != nil {
+			return fmt.Errorf("telemetry: clock ping %d: %w", i, err)
+		}
+		if len(msg.Data) >= 4 {
+			copy(reply[:4], msg.Data[:4])
+		}
+		binary.LittleEndian.PutUint64(reply[4:], uint64(time.Now().UnixNano()))
+		if err := c.SendBytes(master, mpi.TagClockSync, reply); err != nil {
+			return fmt.Errorf("telemetry: clock pong %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name: the "hf_" namespace prefix plus the name with every character
+// outside [a-zA-Z0-9_] replaced by '_' (dots become underscores, so
+// "mpi.allreduce.ns" → "hf_mpi_allreduce_ns").
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("hf_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus renders per-rank registry snapshots in the Prometheus
+// text exposition format (version 0.0.4): each metric appears once with
+// its # TYPE line followed by one sample per rank carrying a rank
+// label; histograms expand to cumulative _bucket series plus _sum and
+// _count. Output is fully deterministic (names and ranks sorted), which
+// the golden test locks down.
+func WritePrometheus(w io.Writer, snaps map[int]obs.Snapshot) error {
+	ranks := make([]int, 0, len(snaps))
+	for r := range snaps {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	counters := map[string]map[int]int64{}
+	gauges := map[string]map[int]float64{}
+	hists := map[string]map[int]obs.HistSnap{}
+	for _, rank := range ranks {
+		s := snaps[rank]
+		for _, c := range s.Counters {
+			if counters[c.Name] == nil {
+				counters[c.Name] = map[int]int64{}
+			}
+			counters[c.Name][rank] = c.Value
+		}
+		for _, g := range s.Gauges {
+			if gauges[g.Name] == nil {
+				gauges[g.Name] = map[int]float64{}
+			}
+			gauges[g.Name][rank] = g.Value
+		}
+		for _, h := range s.Histograms {
+			if hists[h.Name] == nil {
+				hists[h.Name] = map[int]obs.HistSnap{}
+			}
+			hists[h.Name][rank] = h
+		}
+	}
+
+	emit := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for _, name := range sortedNames(counters) {
+		pn := promName(name)
+		if err := emit("# TYPE %s counter\n", pn); err != nil {
+			return err
+		}
+		for _, rank := range ranks {
+			if v, ok := counters[name][rank]; ok {
+				if err := emit("%s{rank=\"%d\"} %d\n", pn, rank, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, name := range sortedNames(gauges) {
+		pn := promName(name)
+		if err := emit("# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, rank := range ranks {
+			if v, ok := gauges[name][rank]; ok {
+				if err := emit("%s{rank=\"%d\"} %s\n", pn, rank, formatFloat(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, name := range sortedNames(hists) {
+		pn := promName(name)
+		if err := emit("# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, rank := range ranks {
+			h, ok := hists[name][rank]
+			if !ok {
+				continue
+			}
+			var cum int64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				if err := emit("%s_bucket{rank=\"%d\",le=\"%d\"} %d\n", pn, rank, b.Le, cum); err != nil {
+					return err
+				}
+			}
+			if err := emit("%s_bucket{rank=\"%d\",le=\"+Inf\"} %d\n", pn, rank, h.Count); err != nil {
+				return err
+			}
+			if err := emit("%s_sum{rank=\"%d\"} %d\n", pn, rank, h.Sum); err != nil {
+				return err
+			}
+			if err := emit("%s_count{rank=\"%d\"} %d\n", pn, rank, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a gauge value the Prometheus way: integral values
+// without a decimal point, everything else in shortest-round-trip form.
+func formatFloat(v float64) string {
+	//lint:ignore floateq exact integrality test chooses the rendering, not a numeric tolerance
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// sortedNames returns m's keys sorted.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus renders the merger's newest per-rank snapshots (live
+// registries re-snapshot at call time) in Prometheus text format, plus
+// the plane's own meta-series: hf_telemetry_ranks (ranks reporting) and
+// hf_telemetry_dropped_spans_total (spans lost to ring overwrites
+// anywhere in the pipeline); nil-safe (writes only the meta-series
+// zeros).
+func (m *Merger) WritePrometheus(w io.Writer) error {
+	if err := WritePrometheus(w, m.Snapshots()); err != nil {
+		return err
+	}
+	merged, perRank := m.Dropped()
+	var dropped int64 = merged
+	for _, n := range perRank {
+		dropped += n
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE hf_telemetry_ranks gauge\nhf_telemetry_ranks %d\n", len(m.Ranks())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "# TYPE hf_telemetry_dropped_spans_total counter\nhf_telemetry_dropped_spans_total %d\n", dropped)
+	return err
+}

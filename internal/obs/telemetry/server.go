@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live monitoring endpoint behind hftrain -http. It
+// serves, from the master's telemetry plane:
+//
+//	/metrics        Prometheus text exposition of all ranks' metrics
+//	/trace          the merged Chrome/Perfetto trace so far (download)
+//	/healthz        run/worker state as JSON; 503 when degraded
+//	/flight         the most recent flight-recorder bundle, if any
+//	/debug/pprof/   the standard Go profiler endpoints
+//
+// Handlers only read the plane's concurrency-safe components, so
+// scraping never blocks training.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts the monitoring endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0"; a port of 0 picks a free one — read it back with
+// Addr). The plane may be nil: every endpoint then serves its empty
+// form, which keeps -http usable for pprof alone.
+func NewServer(addr string, p *Plane) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = p.Merger().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		_ = p.Merger().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !p.Health().Healthy() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = p.Health().WriteJSON(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		b := p.Recorder().Last()
+		if b == nil {
+			w.WriteHeader(http.StatusNotFound)
+		}
+		_ = b.WriteJSON(w)
+	})
+	// net/http/pprof self-registers only on http.DefaultServeMux; wire
+	// its handlers onto this private mux explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() {
+		// ErrServerClosed after Close; anything else means the listener
+		// died, which monitoring tolerates silently (training goes on).
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port); nil-safe.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down; nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

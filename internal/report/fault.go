@@ -3,8 +3,10 @@ package report
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/telemetry"
 )
 
 // FaultTable renders an elastic run's fault report: the eviction budget
@@ -35,5 +37,34 @@ func FaultTable(w io.Writer, rep *core.FaultReport) {
 		fmt.Fprintf(w, "%4d %6d %-12s %-24s %6d %12.5f %10d %10d %10.1f\n",
 			ev.Rank, ev.HFIter, ev.Op, cause, ev.RewindIter, ev.ResumeLoss,
 			ev.ReshardUtts, ev.ReshardFrames, float64(ev.RewindWall.Nanoseconds())/1e6)
+	}
+	FlightTable(w, rep.Flight)
+}
+
+// FlightTable summarizes a flight recorder's post-mortem bundle: what
+// tripped it, the capture window, and how much pre-fault activity from
+// each rank it preserved. The bundle itself (full spans, event-log
+// entries, metric deltas) is the JSON artifact; this renders the
+// human-size digest.
+func FlightTable(w io.Writer, b *telemetry.FlightBundle) {
+	if b == nil {
+		return
+	}
+	fmt.Fprintf(w, "flight recorder: %s\n", b.Reason)
+	fmt.Fprintf(w, "  captured %s window before %s: %d span(s), %d event(s), %d rank(s), %d span(s) dropped\n",
+		b.Window.Round(time.Millisecond), b.CapturedAt.Format(time.RFC3339),
+		len(b.Spans), len(b.Events), len(b.Ranks), b.DroppedSpans)
+	perRank := map[int]int{}
+	for _, ev := range b.Spans {
+		perRank[ev.Rank]++
+	}
+	for _, rank := range b.Ranks {
+		fmt.Fprintf(w, "  rank %d: %d span(s)", rank, perRank[rank])
+		for _, d := range b.Deltas {
+			if d.Rank == rank && len(d.Counters) > 0 {
+				fmt.Fprintf(w, ", %d counter(s) moved in window", len(d.Counters))
+			}
+		}
+		fmt.Fprintln(w)
 	}
 }

@@ -3,10 +3,12 @@ package report
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/hf"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // MPITable renders a rank's per-phase communication profile from a real
@@ -52,6 +54,28 @@ func MetricsTable(w io.Writer, snap obs.Snapshot) {
 			fmt.Fprintf(w, "  %-42s %10d %12.1f %12d %12d %12d\n",
 				h.Name, h.Count, h.Mean, h.P50, h.P99, h.Max)
 		}
+	}
+}
+
+// TelemetryTable renders the telemetry plane's per-rank rollup: one row
+// per rank with its clock offset into the master timebase, counter and
+// histogram totals, and spans lost to ring overwrites — the at-a-glance
+// cross-rank view the merged trace details.
+func TelemetryTable(w io.Writer, m *telemetry.Merger) {
+	ranks := m.Ranks()
+	if len(ranks) == 0 {
+		return
+	}
+	snaps := m.Snapshots()
+	_, perRankDrop := m.Dropped()
+	fmt.Fprintln(w, "telemetry by rank (merged at master)")
+	fmt.Fprintf(w, "%4s %14s %10s %8s %12s %10s\n",
+		"rank", "clock offset", "counters", "gauges", "histograms", "dropped")
+	for _, rank := range ranks {
+		s := snaps[rank]
+		fmt.Fprintf(w, "%4d %14s %10d %8d %12d %10d\n",
+			rank, m.Offset(rank).Round(time.Microsecond),
+			len(s.Counters), len(s.Gauges), len(s.Histograms), perRankDrop[rank])
 	}
 }
 
