@@ -1,13 +1,14 @@
-.PHONY: verify lint commcheck numcheck faultcheck obscheck determinism race race-mpi test bench bench_obs bench_fault
+.PHONY: verify lint commcheck numcheck faultcheck obscheck alloccheck determinism race race-mpi test bench bench_obs bench_fault bench_alloc
 
 # Full gate: compile, vet, the repo-specific static analyzers (including
 # the collective-protocol checker and the determinism/numerical-safety
 # quartet), the complete test suite under the race detector, the same
 # suites re-run with runtime protocol conformance checking on every
 # collective (-tags commcheck), the invariant-checked build of the
-# numeric core, and the bit-reproducible replay gate on both fabrics.
+# numeric core, the compiler-truth allocation gate on the hot paths,
+# and the bit-reproducible replay gate on both fabrics.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) determinism
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) alloccheck && $(MAKE) determinism
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
@@ -50,6 +51,18 @@ obscheck:
 	go test -race ./internal/obs/telemetry
 	go test -race -run 'TestTelemetry' ./internal/core
 
+# Hot-path allocation gate, in three layers of evidence: the escape
+# gate (compile //lint:hotpath packages with -gcflags=-m=2 and fail any
+# hot function with a compiler-reported heap escape), the white-box
+# zero-alloc tests (testing.AllocsPerRun on the CG step and the packed
+# GEMM kernels), and the allocs/op benchmark gated against the
+# BENCH_alloc.json baseline. See DESIGN.md, "Concurrency & allocation
+# gates".
+alloccheck:
+	go run ./cmd/repolint -only escape
+	go test -run TestZeroAlloc ./internal/blas ./internal/hf
+	go test -bench BenchmarkAllocGate -benchtime 1x -run '^$$' .
+
 # Bit-reproducible replay gate: train the same seeded problem twice on
 # each fabric and require byte-identical per-iteration FNV hash streams
 # of gradients, CG solutions, and accepted parameters. Also runs the
@@ -89,3 +102,8 @@ bench_obs:
 # BENCH_fault.json.
 bench_fault:
 	go test -bench BenchmarkFaultEviction -benchtime 1x -run '^$$' .
+
+# Re-measure hot-path allocs/op and bytes/op; rewrites BENCH_alloc.json
+# and fails if any case regressed past the recorded baseline.
+bench_alloc:
+	go test -bench BenchmarkAllocGate -benchtime 1x -run '^$$' .

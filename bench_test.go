@@ -3,11 +3,14 @@ package repro
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/bgq"
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/hf"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/obs/telemetry"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -602,4 +606,142 @@ func BenchmarkRealTrainingMethods(b *testing.B) {
 		}
 		b.ReportMetric(loss, "final_loss")
 	})
+}
+
+// allocGateMargin is how many extra allocations per op any
+// BenchmarkAllocGate case may show over its recorded BENCH_alloc.json
+// baseline before the gate fails. The measured counts are exactly
+// deterministic (fixed shapes, single-threaded kernels, seeded inputs),
+// so the margin only absorbs Go-release drift in library internals; a
+// structural regression — boxing per CG step, a per-panel buffer in the
+// packed GEMM — adds allocations proportional to the iteration count and
+// blows past it immediately.
+const allocGateMargin float64 = 4
+
+// BenchmarkAllocGate pins the steady-state allocation behavior of the
+// numeric hot paths as allocs/op and bytes/op: the packed GEMM under the
+// paper's three DNN shape classes (square, minibatch×layer, small-K
+// output layer) and a full CG inner solve. Counts are written to
+// BENCH_alloc.json and gated against the previous run. The GEMM cases
+// run the single-threaded Blocked kernel so the counts are
+// machine-independent (the Parallel driver sizes its worker pool from
+// GOMAXPROCS); per-call allocations there are the blocking driver's
+// packing buffers, which is why the count must not scale with shape.
+// The per-step zero-allocation property of the CG kernel itself is
+// pinned separately by the white-box TestZeroAlloc tests in
+// internal/blas and internal/hf.
+func BenchmarkAllocGate(b *testing.B) {
+	gemmCase := func(m, n, k int) func() {
+		rng := rand.New(rand.NewSource(1))
+		a := tensor.RandMatrix(rng, m, k, 1)
+		bb := tensor.RandMatrix(rng, k, n, 1)
+		c := tensor.NewMatrix(m, n)
+		return func() {
+			blas.GemmWith(blas.Config{Impl: blas.Blocked, Threads: 1}, blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
+		}
+	}
+	cgCase := func(dim int) func() {
+		g := make(tensor.Vector, dim)
+		d0 := make(tensor.Vector, dim)
+		for i := range g {
+			g[i] = 1 + float32(i%5)
+		}
+		// A diagonal SPD operator with 17 distinct eigenvalues: CG needs a
+		// deterministic handful of iterations, never breaks down.
+		apply := func(v, out tensor.Vector) {
+			for i := range v {
+				out[i] += (1 + float32(i%17)) * v[i]
+			}
+		}
+		return func() {
+			hf.CGMinimize(apply, g, d0, hf.CGOpts{MaxIters: 20, MinIters: 3})
+		}
+	}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"gemm_square_256x256x256", gemmCase(256, 256, 256)},
+		{"gemm_layer_512x1024x1024", gemmCase(512, 1024, 1024)},
+		{"gemm_smallk_512x512x40", gemmCase(512, 512, 40)},
+		{"cg_minimize_dim4096", cgCase(4096)},
+	}
+
+	type allocStat struct {
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+	}
+	results := map[string]allocStat{}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			allocs, bytes := measureAllocs(3, tc.fn)
+			results[tc.name] = allocStat{AllocsPerOp: allocs, BytesPerOp: bytes}
+			b.ReportMetric(allocs, "allocs/op-measured")
+			b.ReportMetric(bytes, "B/op-measured")
+		})
+	}
+	if len(results) < len(cases) {
+		return // sub-benchmark filtered out; don't rewrite a partial baseline
+	}
+
+	baseline, haveBaseline := readAllocBaseline(b)
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_alloc.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if !haveBaseline {
+		return
+	}
+	for name, got := range results {
+		prev, ok := baseline[name]
+		if !ok {
+			continue // new case: its first run records the baseline
+		}
+		if limit := prev + allocGateMargin; got.AllocsPerOp > limit {
+			b.Errorf("%s: %.0f allocs/op regressed past baseline %.0f + %.0f margin",
+				name, got.AllocsPerOp, prev, allocGateMargin)
+		}
+	}
+}
+
+// measureAllocs reports the mean allocations and bytes allocated per call
+// of fn — testing.AllocsPerRun extended with the TotalAlloc delta, since
+// the gate wants bytes/op in the baseline file too.
+func measureAllocs(runs int, fn func()) (allocsPerOp, bytesPerOp float64) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm up: one-time lazy initialization is not steady-state cost
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(runs)
+}
+
+// readAllocBaseline loads the allocs/op recorded per case by the previous
+// BenchmarkAllocGate run, if any.
+func readAllocBaseline(b *testing.B) (map[string]float64, bool) {
+	b.Helper()
+	data, err := os.ReadFile("BENCH_alloc.json")
+	if err != nil {
+		return nil, false
+	}
+	var prev map[string]struct {
+		AllocsPerOp *float64 `json:"allocs_per_op"`
+	}
+	if json.Unmarshal(data, &prev) != nil {
+		return nil, false
+	}
+	base := map[string]float64{}
+	for name, s := range prev {
+		if s.AllocsPerOp != nil {
+			base[name] = *s.AllocsPerOp
+		}
+	}
+	return base, len(base) > 0
 }

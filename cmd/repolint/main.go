@@ -1,8 +1,12 @@
 // Command repolint runs the repo-specific static-analysis suite of
-// internal/lint over the module: unchecked MPI/IO errors, float equality,
-// locks copied by value, allocations in //lint:hotpath kernels,
-// unguarded obs.Observer field access, and collective-protocol
-// conformance (commcheck).
+// internal/lint over the module — unchecked MPI/IO errors, float
+// equality, locks copied by value, allocations in //lint:hotpath
+// kernels, unguarded obs.Observer field access, collective-protocol
+// conformance (commcheck), and the concurrency-lifecycle quartet
+// (goroutineleak, lockacrossblock, deferinloop, tickerstop) — plus the
+// compiler-truth escape gate, which compiles hot-path packages with
+// -gcflags=-m=2 and fails any //lint:hotpath function containing a
+// compiler-reported heap escape.
 //
 // Usage:
 //
@@ -11,10 +15,12 @@
 //
 // Without flags it lints the module containing the current directory and
 // prints findings as file:line:col text. -json emits the stable
-// machine-readable schema (version 1) consumed by tooling; -only
+// machine-readable schema (version 2) consumed by tooling; -only
 // restricts the run to the named analyzers (e.g. `-only commcheck`, the
-// `make commcheck` target); -list documents the analyzers. Exit status:
-// 0 clean, 1 findings, 2 usage or load failure.
+// `make commcheck` target, or `-only escape`, the `make alloccheck`
+// gate); -list documents the analyzers; -v reports load warnings and
+// per-analyzer timing to stderr. Exit status: 0 clean, 1 findings, 2
+// usage or load failure.
 package main
 
 import (
@@ -23,36 +29,44 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
+	"repro/internal/lint/escape"
 )
 
 // jsonReport is the stable -json output schema. Fields are append-only:
 // tooling that snapshots this shape must keep decoding as analyzers are
-// added, so the version only bumps on incompatible changes.
+// added, so the version only bumps on incompatible changes. Version 2
+// added the top-level errors/warnings severity counts alongside the
+// per-finding severity.
 type jsonReport struct {
 	Version  int            `json:"version"`
 	Count    int            `json:"count"`
+	Errors   int            `json:"errors"`
+	Warnings int            `json:"warnings"`
 	Findings []lint.Finding `json:"findings"`
 }
 
 func main() {
 	dir := flag.String("C", ".", "lint the module containing this directory")
 	asJSON := flag.Bool("json", false, "emit findings as JSON (stable schema)")
-	verbose := flag.Bool("v", false, "print load warnings and per-package progress to stderr")
+	verbose := flag.Bool("v", false, "print load warnings and per-analyzer timing to stderr")
 	list := flag.Bool("list", false, "list analyzers and exit")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all, including escape)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
 		}
+		fmt.Printf("%-16s %s\n", escape.Name, escape.Doc)
 		return
 	}
 
-	analyzers, err := selectAnalyzers(*only)
+	analyzers, runEscape, err := selectAnalyzers(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
@@ -63,42 +77,67 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
 	}
-	res, err := lint.Run(root, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		os.Exit(2)
-	}
-	if *verbose {
-		for _, w := range res.LoadWarnings {
-			fmt.Fprintln(os.Stderr, "repolint: warning:", w)
+
+	findings := []lint.Finding{}
+	timings := map[string]time.Duration{}
+	if len(analyzers) > 0 {
+		res, err := lint.Run(root, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "repolint: analyzed %d packages\n", len(res.Packages))
+		findings = append(findings, res.Findings...)
+		for name, d := range res.Timings {
+			timings[name] = d
+		}
+		if *verbose {
+			for _, w := range res.LoadWarnings {
+				fmt.Fprintln(os.Stderr, "repolint: warning:", w)
+			}
+			fmt.Fprintf(os.Stderr, "repolint: analyzed %d packages\n", len(res.Packages))
+		}
+	}
+	if runEscape {
+		start := time.Now()
+		escFindings, err := escape.Analyze(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		timings[escape.Name] = time.Since(start)
+		findings = append(findings, escFindings...)
+	}
+	sortFindings(findings)
+	if *verbose {
+		printTimings(os.Stderr, timings)
 	}
 
 	if *asJSON {
-		if err := writeJSON(os.Stdout, buildReport(res.Findings)); err != nil {
+		if err := writeJSON(os.Stdout, buildReport(findings)); err != nil {
 			fmt.Fprintln(os.Stderr, "repolint:", err)
 			os.Exit(2)
 		}
 	} else {
-		for _, f := range res.Findings {
+		for _, f := range findings {
 			fmt.Printf("%s [%s]\n", f, f.Severity)
 		}
-		if n := len(res.Findings); n > 0 {
+		if n := len(findings); n > 0 {
 			fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", n)
 		}
 	}
-	if len(res.Findings) > 0 {
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }
 
-// selectAnalyzers resolves a -only list against the suite, preserving
-// the suite's stable order; an empty list selects everything.
-func selectAnalyzers(only string) ([]lint.Analyzer, error) {
+// selectAnalyzers resolves a -only list against the suite (plus the
+// "escape" gate, which is not a lint.Analyzer — it runs the compiler —
+// but shares the name namespace), preserving the suite's stable order;
+// an empty list selects everything including the escape gate.
+func selectAnalyzers(only string) ([]lint.Analyzer, bool, error) {
 	all := lint.Analyzers()
 	if only == "" {
-		return all, nil
+		return all, true, nil
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(only, ",") {
@@ -106,6 +145,8 @@ func selectAnalyzers(only string) ([]lint.Analyzer, error) {
 			want[n] = true
 		}
 	}
+	runEscape := want[escape.Name]
+	delete(want, escape.Name)
 	var sel []lint.Analyzer
 	for _, a := range all {
 		if want[a.Name()] {
@@ -118,12 +159,52 @@ func selectAnalyzers(only string) ([]lint.Analyzer, error) {
 		for n := range want {
 			unknown = append(unknown, n)
 		}
-		return nil, fmt.Errorf("unknown analyzer(s) %s (see repolint -list)", strings.Join(unknown, ", "))
+		sort.Strings(unknown)
+		return nil, false, fmt.Errorf("unknown analyzer(s) %s (see repolint -list)", strings.Join(unknown, ", "))
 	}
-	if len(sel) == 0 {
-		return nil, fmt.Errorf("-only selected no analyzers")
+	if len(sel) == 0 && !runEscape {
+		return nil, false, fmt.Errorf("-only selected no analyzers")
 	}
-	return sel, nil
+	return sel, runEscape, nil
+}
+
+// sortFindings restores position order after merging the analyzer and
+// escape-gate result sets.
+func sortFindings(fs []lint.Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// printTimings renders per-analyzer cumulative Run time, slowest first,
+// to the -v stream (stderr, so -json stdout stays byte-stable).
+func printTimings(w io.Writer, timings map[string]time.Duration) {
+	names := make([]string, 0, len(timings))
+	for n := range timings {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if timings[names[i]] != timings[names[j]] {
+			return timings[names[i]] > timings[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(w, "repolint: timing %-16s %s\n", n, timings[n].Round(10*time.Microsecond))
+	}
 }
 
 // buildReport wraps findings in the versioned -json schema. Findings is
@@ -133,7 +214,16 @@ func buildReport(findings []lint.Finding) jsonReport {
 	if findings == nil {
 		findings = []lint.Finding{}
 	}
-	return jsonReport{Version: 1, Count: len(findings), Findings: findings}
+	r := jsonReport{Version: 2, Count: len(findings), Findings: findings}
+	for _, f := range findings {
+		switch f.Severity {
+		case lint.SevError:
+			r.Errors++
+		case lint.SevWarn:
+			r.Warnings++
+		}
+	}
+	return r
 }
 
 // writeJSON renders the report with the fixed two-space indentation the

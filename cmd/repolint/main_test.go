@@ -7,13 +7,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/lint"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden -json snapshot")
 
-// TestJSONSchemaSnapshot locks the -json output schema (version 1). It
+// TestJSONSchemaSnapshot locks the -json output schema (version 2). It
 // lints the uncheckederr golden fixture and compares the rendered report
 // byte-for-byte against testdata/report.golden.json, so any change to
 // field names, ordering, indentation or position encoding shows up as a
@@ -49,26 +50,27 @@ func TestJSONSchemaSnapshot(t *testing.T) {
 }
 
 // TestSelectAnalyzers pins the -only flag: names resolve in suite
-// order, unknown names fail, empty selects everything.
+// order, unknown names fail, empty selects everything plus the escape
+// gate.
 func TestSelectAnalyzers(t *testing.T) {
-	all, err := selectAnalyzers("")
-	if err != nil || len(all) != len(lint.Analyzers()) {
-		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v; want full suite", len(all), err)
+	all, esc, err := selectAnalyzers("")
+	if err != nil || len(all) != len(lint.Analyzers()) || !esc {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, escape %v, err %v; want full suite + escape", len(all), esc, err)
 	}
-	sel, err := selectAnalyzers("commcheck")
-	if err != nil || len(sel) != 1 || sel[0].Name() != "commcheck" {
-		t.Fatalf("selectAnalyzers(commcheck) = %v, err %v", sel, err)
+	sel, esc, err := selectAnalyzers("commcheck")
+	if err != nil || len(sel) != 1 || sel[0].Name() != "commcheck" || esc {
+		t.Fatalf("selectAnalyzers(commcheck) = %v, escape %v, err %v", sel, esc, err)
 	}
-	sel, err = selectAnalyzers("obsnilguard, commcheck")
+	sel, _, err = selectAnalyzers("obsnilguard, commcheck")
 	if err != nil || len(sel) != 2 {
 		t.Fatalf("selectAnalyzers(two) = %v, err %v", sel, err)
 	}
-	if _, err = selectAnalyzers("nosuchanalyzer"); err == nil {
+	if _, _, err = selectAnalyzers("nosuchanalyzer"); err == nil {
 		t.Fatal("unknown analyzer accepted")
 	}
 	// The numcheck quartet resolves as a group — the `make numcheck`
 	// invocation — and in suite order regardless of request order.
-	sel, err = selectAnalyzers("divguard,maporderfloat,reduceorder,rngsource")
+	sel, _, err = selectAnalyzers("divguard,maporderfloat,reduceorder,rngsource")
 	if err != nil || len(sel) != 4 {
 		t.Fatalf("selectAnalyzers(numcheck quartet) = %v, err %v", sel, err)
 	}
@@ -78,19 +80,68 @@ func TestSelectAnalyzers(t *testing.T) {
 			t.Errorf("numcheck quartet[%d] = %s, want %s (suite order)", i, a.Name(), want[i])
 		}
 	}
+	// The concurrency quartet is part of the suite.
+	sel, _, err = selectAnalyzers("goroutineleak,lockacrossblock,deferinloop,tickerstop")
+	if err != nil || len(sel) != 4 {
+		t.Fatalf("selectAnalyzers(concurrency quartet) = %v, err %v", sel, err)
+	}
+	// The escape gate resolves alone (the `make alloccheck` invocation)
+	// and alongside analyzers.
+	sel, esc, err = selectAnalyzers("escape")
+	if err != nil || len(sel) != 0 || !esc {
+		t.Fatalf("selectAnalyzers(escape) = %v, escape %v, err %v", sel, esc, err)
+	}
+	sel, esc, err = selectAnalyzers("escape,hotpathalloc")
+	if err != nil || len(sel) != 1 || sel[0].Name() != "hotpathalloc" || !esc {
+		t.Fatalf("selectAnalyzers(escape,hotpathalloc) = %v, escape %v, err %v", sel, esc, err)
+	}
 }
 
 // TestJSONCleanRun ensures a finding-free report renders findings as an
-// empty array, never null, with version and count present.
+// empty array, never null, with version, count and severity tallies
+// present.
 func TestJSONCleanRun(t *testing.T) {
 	var buf bytes.Buffer
 	if err := writeJSON(&buf, buildReport(nil)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{`"version": 1`, `"count": 0`, `"findings": []`} {
+	for _, want := range []string{`"version": 2`, `"count": 0`, `"errors": 0`, `"warnings": 0`, `"findings": []`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("clean report missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportSeverityTallies pins the v2 errors/warnings counts.
+func TestReportSeverityTallies(t *testing.T) {
+	r := buildReport([]lint.Finding{
+		{Analyzer: "a", Severity: lint.SevError},
+		{Analyzer: "b", Severity: lint.SevWarn},
+		{Analyzer: "c", Severity: lint.SevError},
+	})
+	if r.Version != 2 || r.Count != 3 || r.Errors != 2 || r.Warnings != 1 {
+		t.Fatalf("report = %+v, want version 2, count 3, errors 2, warnings 1", r)
+	}
+}
+
+// TestPrintTimings pins the -v timing rendering: slowest analyzer
+// first, stable tie-break by name.
+func TestPrintTimings(t *testing.T) {
+	var buf bytes.Buffer
+	printTimings(&buf, map[string]time.Duration{
+		"floateq":   2 * time.Millisecond,
+		"commcheck": 30 * time.Millisecond,
+		"escape":    2 * time.Millisecond,
+	})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timing lines = %v", lines)
+	}
+	wantOrder := []string{"commcheck", "escape", "floateq"}
+	for i, name := range wantOrder {
+		if !strings.Contains(lines[i], name) {
+			t.Errorf("timing line %d = %q, want analyzer %s", i, lines[i], name)
 		}
 	}
 }

@@ -457,6 +457,7 @@ func (m *elasticMaster) run() (*MasterResult, error) {
 		for err != nil {
 			var fu *errFaultUnwind
 			if !errors.As(err, &fu) {
+				m.drainLocalTelemetry()
 				m.plane.Health().SetState("failed")
 				m.stopAll()
 				return nil, err
@@ -645,6 +646,19 @@ func (m *elasticMaster) collectTelemetry() {
 			continue
 		}
 		m.plane.Merger().Ingest(b)
+	}
+	m.plane.Merger().Ingest(m.local.Bundle())
+}
+
+// drainLocalTelemetry folds the master's own drained shipper bundle
+// into the merger without contacting any worker. It is the failure-path
+// complement of collectTelemetry: on a non-fault error the workers may
+// be wedged, and the exit path must not wait out per-worker deadlines —
+// but the master's spans, metrics and events recorded up to the error
+// must still survive into /trace and any post-mortem flight bundle.
+func (m *elasticMaster) drainLocalTelemetry() {
+	if m.plane == nil {
+		return
 	}
 	m.plane.Merger().Ingest(m.local.Bundle())
 }

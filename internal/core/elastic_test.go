@@ -4,11 +4,13 @@ import (
 	"errors"
 	"math"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // faultPolicy builds the test fault policy: inject the given schedule,
@@ -298,4 +300,74 @@ func TestSessionAttachMode(t *testing.T) {
 	if master.HF.FinalLoss <= 0 || math.IsNaN(master.HF.FinalLoss) {
 		t.Errorf("attach-mode final loss %v", master.HF.FinalLoss)
 	}
+}
+
+// TestElasticHeartbeatNoGoroutineLeak is the regression test for the
+// goroutineleak audit of the elastic master: a run with heartbeats on
+// every iteration (plus the telemetry plane's shipper and watchdog
+// machinery) must return the process to its pre-run goroutine count.
+// The heartbeat is deliberately synchronous — this pins that contract
+// so a future "async ping" refactor cannot silently leak.
+func TestElasticHeartbeatNoGoroutineLeak(t *testing.T) {
+	p := testProblem(t, CrossEntropy)
+	before := runtime.NumGoroutine()
+
+	ob := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(), Events: obs.NewEventLog(0)}
+	sess, err := NewSession(p,
+		WithRanks(3),
+		WithObserver(ob),
+		WithTelemetry(telemetry.Config{}),
+		WithFaults(FaultPolicy{
+			FaultConfig:    mpi.FaultConfig{OpDeadline: 5 * time.Second},
+			HeartbeatEvery: 1,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(fastHF()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Reported RTTs prove heartbeats actually ran.
+	hb := ob.Registry().Histogram("core.elastic.heartbeat_rtt_ns")
+	if hb.Count() == 0 {
+		t.Fatal("no heartbeat RTTs recorded with HeartbeatEvery=1")
+	}
+
+	// Goroutines wind down asynchronously after Run returns; poll until
+	// the count settles back to (at or below) the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before run, %d after settle window — leak",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestElasticDrainLocalTelemetryOnFailure is the regression test for
+// the non-fault failure path: the master's own shipper must be drained
+// into the merger (without contacting any worker) so telemetry recorded
+// up to the error survives into /trace and post-mortem bundles.
+func TestElasticDrainLocalTelemetryOnFailure(t *testing.T) {
+	ob := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(), Events: obs.NewEventLog(0)}
+	plane := telemetry.NewPlane(telemetry.Config{}, ob.Tracer().Epoch())
+	m := &elasticMaster{ob: ob, plane: plane, local: telemetry.NewShipper(0, ob)}
+
+	ob.Span(0, "doomed_iteration").End()
+	m.drainLocalTelemetry()
+
+	evs := plane.Merger().Events()
+	if len(evs) != 1 || evs[0].Name != "doomed_iteration" {
+		t.Fatalf("merger events after failure drain = %+v, want the master span", evs)
+	}
+
+	// The nil-plane master (telemetry disabled) must be a no-op, not a
+	// panic, on the same path.
+	(&elasticMaster{ob: ob}).drainLocalTelemetry()
 }

@@ -1,0 +1,58 @@
+package hf
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestZeroAllocCGStep is the white-box half of the allocation gate for
+// the CG inner iteration: cgStep runs tens of times per outer HF
+// iteration between the paper's two collectives, and every vector it
+// touches is caller-owned workspace, so a single allocation per step
+// would dominate GC pressure at scale. The escape gate (make
+// alloccheck) proves the same property statically.
+func TestZeroAllocCGStep(t *testing.T) {
+	const n = 1 << 10
+	x := make(tensor.Vector, n)
+	r0 := make(tensor.Vector, n)
+	r := make(tensor.Vector, n)
+	z := make(tensor.Vector, n)
+	p := make(tensor.Vector, n)
+	ap := make(tensor.Vector, n)
+	for i := range r0 {
+		r0[i] = 1 + float32(i%7)
+	}
+	// A well-conditioned diagonal operator: SPD, allocation-free, and the
+	// step never hits the breakdown early-returns.
+	apply := func(v, out tensor.Vector) {
+		for i := range v {
+			out[i] += 2 * v[i]
+		}
+	}
+	step := func() {
+		// Reset to the first CG iteration each run so rz stays positive no
+		// matter how many times AllocsPerRun repeats the body.
+		for i := range x {
+			x[i] = 0
+		}
+		copy(r, r0)
+		copy(z, r0)
+		copy(p, r0)
+		rz := r.Dot(z)
+		if _, ok := cgStep(apply, nil, x, r, z, p, ap, rz); !ok {
+			t.Fatal("cgStep reported breakdown on an SPD operator")
+		}
+	}
+	if got := testing.AllocsPerRun(20, step); got != 0 {
+		t.Errorf("cgStep: %.0f allocs per step, want 0", got)
+	}
+
+	precond := make(tensor.Vector, n)
+	for i := range precond {
+		precond[i] = 2
+	}
+	if got := testing.AllocsPerRun(20, func() { applyPrecond(precond, r0, z) }); got != 0 {
+		t.Errorf("applyPrecond: %.0f allocs per call, want 0", got)
+	}
+}

@@ -1,0 +1,59 @@
+package lint
+
+import "go/ast"
+
+// DeferInLoop flags defer statements inside for/range loops. A defer
+// runs at function exit, not loop-iteration exit, so a defer inside the
+// CG inner loop or the training iteration loop accumulates one pending
+// call per iteration: file handles stay open across the whole solve,
+// unlock is postponed until the function returns (serializing what
+// looked like per-iteration locking), and the deferred closures pin
+// their captured buffers — an allocation leak the hot-path gates exist
+// to prevent.
+//
+// A function literal inside the loop resets the scope: defers in its
+// body run when the literal returns, once per call, which is the
+// sanctioned way to get per-iteration cleanup.
+type DeferInLoop struct{}
+
+// Name implements Analyzer.
+func (DeferInLoop) Name() string { return "deferinloop" }
+
+// Doc implements Analyzer.
+func (DeferInLoop) Doc() string {
+	return "defer inside a for/range loop runs at function exit, not iteration " +
+		"exit; pending calls and their captured memory pile up per iteration"
+}
+
+// Run implements Analyzer.
+func (d DeferInLoop) Run(p *Package) []Finding {
+	var out []Finding
+	p.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if inLoop(stack) {
+			out = append(out, p.finding(d, SevWarn, ds,
+				"defer inside a loop runs at function exit, not per iteration; "+
+					"hoist the cleanup or wrap the iteration body in a function"))
+		}
+		return true
+	})
+	return out
+}
+
+// inLoop reports whether the innermost enclosing function boundary on
+// the stack is crossed by a for or range statement — i.e. the node at
+// the top of the stack sits inside a loop of the current function.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

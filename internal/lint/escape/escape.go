@@ -1,0 +1,337 @@
+// Package escape is the compiler-truth allocation gate for
+// //lint:hotpath functions. Where the heuristic hotpathalloc analyzer
+// pattern-matches source shapes that usually allocate, this package
+// asks the real compiler: it runs `go build -gcflags=-m=2` over every
+// package declaring a hot-path function, parses the escape-analysis
+// diagnostics, and reports ANY compiler-reported heap escape ("escapes
+// to heap" / "moved to heap") positioned inside a hot-path function
+// body. A hot-path kernel with zero reported escapes is genuinely
+// allocation-free for its locals — no heuristic can promise that, and
+// no heuristic exemption can hide a real escape.
+//
+// The gate honors the same suppression contract as the analyzers: a
+// `//lint:ignore escape <reason>` comment on the diagnostic's line or
+// the line above silences it. Suppressions should be rare — the whole
+// point of compiler truth is that "looks fine" doesn't override the
+// optimizer.
+//
+// Findings reuse lint.Finding so cmd/repolint renders them uniformly;
+// the analyzer name is "escape" and every finding is an error.
+package escape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Name is the identifier the gate reports under and the key for
+// //lint:ignore directives and repolint -only.
+const Name = "escape"
+
+// Doc describes the gate for repolint -list.
+const Doc = "compiler-reported heap escape (go build -gcflags=-m=2) inside a " +
+	"//lint:hotpath function; hot kernels must be allocation-free in compiler truth"
+
+// hotRange is one //lint:hotpath function body: the file (slash-
+// separated, relative to the module root) and its line span.
+type hotRange struct {
+	file       string
+	name       string
+	start, end int
+}
+
+// Analyze scans the whole module for //lint:hotpath functions and gates
+// the packages declaring them. A module with no hot-path functions
+// passes trivially (and runs no compiler).
+func Analyze(root string) ([]lint.Finding, error) {
+	dirs, err := hotDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeDirs(root, dirs)
+}
+
+// AnalyzeDirs gates the given package directories (relative to root).
+// Fixture tests use this to reach packages under testdata, which the
+// module walk deliberately skips.
+func AnalyzeDirs(root string, dirs []string) ([]lint.Finding, error) {
+	if len(dirs) == 0 {
+		return nil, nil
+	}
+	ranges, ignored, err := scanDirs(root, dirs)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	diags, err := compileDiagnostics(root, dirs)
+	if err != nil {
+		return nil, err
+	}
+	findings := match(diags, ranges, ignored)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return findings, nil
+}
+
+// hotDirs walks the module for package directories declaring at least
+// one //lint:hotpath function, using the same skip rules as the lint
+// loader (testdata, vendor, hidden and underscore directories).
+func hotDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		hot, err := fileHasHotPath(path)
+		if err != nil {
+			return err
+		}
+		if hot {
+			rel, err := filepath.Rel(root, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			rel = filepath.ToSlash(rel)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+				dirs = append(dirs, rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// filepath.Walk is ordered, but a package's files may interleave with
+	// subdirectory visits; dedupe defensively.
+	sort.Strings(dirs)
+	dirs = dedupeStrings(dirs)
+	return dirs, nil
+}
+
+// fileHasHotPath reports whether the file declares a //lint:hotpath
+// function, with a cheap textual pre-filter before parsing.
+func fileHasHotPath(path string) (bool, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(string(src), "//lint:hotpath"), nil
+}
+
+// scanDirs parses every non-test file of the given package directories,
+// collecting hot-path function line ranges and the lines covered by
+// //lint:ignore escape directives (keyed by relative file path).
+func scanDirs(root string, dirs []string) ([]hotRange, map[string]map[int]bool, error) {
+	fset := token.NewFileSet()
+	var ranges []hotRange
+	ignored := map[string]map[int]bool{}
+	for _, dir := range dirs {
+		abs := filepath.Join(root, filepath.FromSlash(dir))
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(abs, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("escape: parse %s: %w", path, err)
+			}
+			rel := dir + "/" + name
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasHotPathDoc(fd) {
+					continue
+				}
+				ranges = append(ranges, hotRange{
+					file:  rel,
+					name:  fd.Name.Name,
+					start: fset.Position(fd.Pos()).Line,
+					end:   fset.Position(fd.End()).Line,
+				})
+			}
+			for line := range ignoreLines(fset, f) {
+				if ignored[rel] == nil {
+					ignored[rel] = map[int]bool{}
+				}
+				ignored[rel][line] = true
+			}
+		}
+	}
+	return ranges, ignored, nil
+}
+
+// hasHotPathDoc reports whether fd's doc comment carries //lint:hotpath
+// (same contract as the lint engine's directive).
+func hasHotPathDoc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "lint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreLines collects the lines suppressed for the escape gate by
+// //lint:ignore escape directives (the directive line and the line
+// below, matching the analyzers' contract).
+func ignoreLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "lint:ignore") {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+			if len(fields) == 0 {
+				continue
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				if name == Name {
+					line := fset.Position(c.Pos()).Line
+					lines[line] = true
+					lines[line+1] = true
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// diagnostic is one parsed compiler escape report.
+type diagnostic struct {
+	file      string // slash-separated, relative to the module root
+	line, col int
+	msg       string
+}
+
+// diagRe matches `path.go:line:col: message` at the start of a line;
+// -m=2's indented flow/annotation lines fail the anchor and are
+// dropped.
+var diagRe = regexp.MustCompile(`^([^\s:][^:]*\.go):(\d+):(\d+): (.+)$`)
+
+// compileDiagnostics runs the compiler with -m=2 over the packages and
+// returns the deduplicated heap-escape diagnostics. The Go build cache
+// replays diagnostics on cache hits, so repeated gate runs stay cheap
+// without forcing -a rebuilds.
+func compileDiagnostics(root string, dirs []string) ([]diagnostic, error) {
+	args := []string{"build", "-gcflags=-m=2"}
+	for _, d := range dirs {
+		args = append(args, "./"+d)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// A package that does not compile cannot be gated; surface the
+		// compiler's own message.
+		return nil, fmt.Errorf("escape: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	var diags []diagnostic
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(strings.TrimSpace(m[4]), ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		file := filepath.ToSlash(m[1])
+		// -m=2 prints most escapes twice (with and without a trailing
+		// elaboration colon); key on position+message after trimming.
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		diags = append(diags, diagnostic{file: file, line: ln, col: col, msg: msg})
+	}
+	return diags, nil
+}
+
+// match intersects diagnostics with hot-path function ranges, dropping
+// suppressed lines, and renders the survivors as findings.
+func match(diags []diagnostic, ranges []hotRange, ignored map[string]map[int]bool) []lint.Finding {
+	var out []lint.Finding
+	for _, d := range diags {
+		var hot *hotRange
+		for i := range ranges {
+			r := &ranges[i]
+			if r.file == d.file && d.line >= r.start && d.line <= r.end {
+				hot = r
+				break
+			}
+		}
+		if hot == nil {
+			continue
+		}
+		if ignored[d.file][d.line] {
+			continue
+		}
+		out = append(out, lint.Finding{
+			Analyzer: Name,
+			Severity: lint.SevError,
+			Message: fmt.Sprintf("compiler reports %q inside //lint:hotpath %s; "+
+				"hot kernels must have zero heap escapes", d.msg, hot.name),
+			File: d.file,
+			Line: d.line,
+			Col:  d.col,
+		})
+	}
+	return out
+}
+
+func dedupeStrings(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || in[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package escape
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestFixtureGate is the golden-position test for the compiler-truth
+// gate: the leaky hot function gates at the exact diagnostic position,
+// the clean one and the cold one stay silent, and //lint:ignore escape
+// suppresses.
+func TestFixtureGate(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := AnalyzeDirs(root, []string{"internal/lint/escape/testdata/escapefix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		if f.Analyzer != Name || f.Severity != lint.SevError {
+			t.Errorf("finding metadata = %s/%s, want escape/error", f.Analyzer, f.Severity)
+		}
+		got = append(got, fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col))
+	}
+	want := []string{"internal/lint/escape/testdata/escapefix/escapefix.go:17:29"}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("findings = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestModuleGateClean is the tree-level acceptance bar: every
+// //lint:hotpath function in the repo must show zero compiler-reported
+// heap escapes.
+func TestModuleGateClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Analyze(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("hot path not escape-free: %s", f)
+	}
+}
+
+// TestHotDirsFindsKernels pins the module scan: the BLAS and HF
+// packages both declare hot-path functions and must be gated.
+func TestHotDirsFindsKernels(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := hotDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"internal/blas": false, "internal/hf": false}
+	for _, d := range dirs {
+		if _, ok := want[d]; ok {
+			want[d] = true
+		}
+	}
+	for d, seen := range want {
+		if !seen {
+			t.Errorf("module scan missed hot-path package %s (got %v)", d, dirs)
+		}
+	}
+}

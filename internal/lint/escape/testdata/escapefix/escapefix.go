@@ -1,0 +1,46 @@
+// Package escapefix is the golden fixture for the escape gate: one
+// hot-path function with a compiler-visible heap escape, one genuinely
+// escape-free, one with a suppressed escape, and one escaping function
+// that is not marked hot (and must not gate).
+package escapefix
+
+import "fmt"
+
+// Sink receives escaping pointers so the compiler cannot elide them.
+var Sink any
+
+// HotLeaky formats its argument: the fmt.Sprintf argument pack and the
+// result string both escape, which the gate must report.
+//
+//lint:hotpath
+func HotLeaky(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// HotClean folds a slice in place: nothing escapes.
+//
+//lint:hotpath
+func HotClean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// HotSuppressed allocates a box deliberately; the escape is
+// acknowledged in place and must not gate.
+//
+//lint:hotpath
+func HotSuppressed(n int) *int {
+	//lint:ignore escape fixture: the one-off allocation is the point
+	box := new(int)
+	*box = n
+	return box
+}
+
+// ColdLeaky escapes freely; without the hotpath directive it is none of
+// the gate's business.
+func ColdLeaky(n int) *int {
+	return &n
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements that spawn a goroutine with no
+// reachable shutdown path. PR 6 filled the tree with long-lived
+// goroutines (telemetry shipper, monitoring HTTP server, watchdogs); a
+// fire-and-forget goroutine that outlives its owner holds its
+// closed-over buffers forever, keeps draining CPU in tests, and — on
+// the elastic runtime's eviction path — can resurrect a "dead" rank's
+// traffic mid-rewind. Every spawned goroutine must therefore be
+// joinable or signal-terminated.
+//
+// The analyzer resolves the spawned body (function literal, or a named
+// function/method declared in the same package) and classifies it as
+// unbounded when it contains a condition-less `for` loop, a
+// `for range` over a channel, or a call into net/http's serve loops
+// (Server.Serve, ListenAndServe, ...). An unbounded goroutine is
+// accepted only when it has one of the sanctioned shutdown paths:
+//
+//   - a `return` or `break` inside the unbounded loop (self-terminating
+//     on error, like the TCP fabric's readLoop);
+//   - a channel receive or `select` inside the loop (done-channel or
+//     context.Done threading);
+//   - a (*sync.WaitGroup).Done call in the body (joined by the owner);
+//   - for range-over-channel loops, a close of that channel in the
+//     spawning function (the BLAS worker-pool shape);
+//   - for serve-loop calls, a completion signal after the call — a
+//     channel send, a close, or a WaitGroup Done — so the owner can
+//     join the goroutine after shutting the server down.
+//
+// Bounded goroutines (no loop, no serve call) terminate by themselves
+// and are never flagged.
+type GoroutineLeak struct{}
+
+// Name implements Analyzer.
+func (GoroutineLeak) Name() string { return "goroutineleak" }
+
+// Doc implements Analyzer.
+func (GoroutineLeak) Doc() string {
+	return "go statement with no reachable shutdown path (no done-channel/select, " +
+		"WaitGroup, loop exit, or post-serve completion signal); the goroutine leaks"
+}
+
+// Run implements Analyzer.
+func (g GoroutineLeak) Run(p *Package) []Finding {
+	decls := p.funcDecls()
+	var out []Finding
+	p.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := spawnedBody(p, gs, decls)
+		if body == nil {
+			return true // external callee: body invisible, assume managed
+		}
+		encl := enclosingFuncBody(stack)
+		if why := g.leak(p, body, encl); why != "" {
+			out = append(out, p.finding(g, SevWarn, gs, "goroutine %s", why))
+		}
+		return true
+	})
+	return out
+}
+
+// funcDecls indexes the package's named function bodies by object, so a
+// `go f()` statement can be audited through the declaration of f.
+func (p *Package) funcDecls() map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// spawnedBody resolves the body the go statement starts executing: a
+// function literal inline, or a same-package named function or method.
+func spawnedBody(p *Package, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := p.calleeFunc(gs.Call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// leak classifies body; a non-empty return value describes the leak.
+func (g GoroutineLeak) leak(p *Package, body *ast.BlockStmt, encl *ast.BlockStmt) string {
+	joined := hasWaitGroupDone(p, body)
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch loop := n.(type) {
+		case *ast.FuncLit:
+			return false // nested goroutines/closures audited at their own go statements
+		case *ast.ForStmt:
+			if loop.Cond != nil {
+				return true // bounded by its condition
+			}
+			if !loopHasExit(loop.Body) {
+				why = "loops forever with no return, break, receive or select inside the loop"
+			}
+			return true
+		case *ast.RangeStmt:
+			if !p.isChanType(loop.X) {
+				return true
+			}
+			if joined || loopHasExit(loop.Body) || channelClosedIn(p, encl, loop.X) {
+				return true
+			}
+			why = "ranges over a channel that is never closed in the spawning function, " +
+				"with no WaitGroup or loop exit"
+			return true
+		case *ast.CallExpr:
+			if !isServeCall(p, loop) {
+				return true
+			}
+			if joined || hasCompletionSignal(body) {
+				return true
+			}
+			why = "blocks in an http serve loop with no completion signal; " +
+				"close a done channel after the serve call so the owner can join"
+			return true
+		}
+		return true
+	})
+	return why
+}
+
+// loopHasExit reports whether a loop body contains a lexical exit or
+// wake-up signal: return, break, a channel receive, or a select.
+func loopHasExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if b.Tok.String() == "break" {
+				found = true
+			}
+		case *ast.ReturnStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if isRecvExpr(b) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasWaitGroupDone reports whether body calls (*sync.WaitGroup).Done.
+func hasWaitGroupDone(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := p.calleeFunc(call); fn != nil && fn.Name() == "Done" && pkgPath(fn) == "sync" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// channelClosedIn reports whether the enclosing function closes the
+// channel expression ch (by root identifier) anywhere — the worker-pool
+// contract where the spawner closes the work channel to stop the pool.
+func channelClosedIn(p *Package, encl *ast.BlockStmt, ch ast.Expr) bool {
+	if encl == nil {
+		return false
+	}
+	chRoot := rootIdent(ch)
+	if chRoot == nil {
+		return false
+	}
+	chObj := p.objOf(chRoot)
+	if chObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !p.isBuiltin(call, "close") || len(call.Args) != 1 {
+			return true
+		}
+		if id := rootIdent(call.Args[0]); id != nil && p.objOf(id) == chObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isServeCall reports whether call enters one of net/http's accept
+// loops, which block until the server is shut down from outside.
+func isServeCall(p *Package, call *ast.CallExpr) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || pkgPath(fn) != "net/http" {
+		return false
+	}
+	switch fn.Name() {
+	case "Serve", "ServeTLS", "ListenAndServe", "ListenAndServeTLS":
+		return true
+	}
+	return false
+}
+
+// hasCompletionSignal reports whether body contains a statement that
+// lets the owner observe termination: a channel send or a close call.
+// (WaitGroup.Done is checked separately by the caller.)
+func hasCompletionSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := unparen(s.Fun).(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

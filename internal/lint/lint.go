@@ -29,8 +29,11 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Severity classifies a finding. Errors are invariant violations that
@@ -89,6 +92,10 @@ func Analyzers() []Analyzer {
 		RngSource{},
 		DivGuard{},
 		DeprecatedAPI{},
+		GoroutineLeak{},
+		LockAcrossBlock{},
+		DeferInLoop{},
+		TickerStop{},
 	}
 }
 
@@ -168,6 +175,9 @@ type Result struct {
 	// LoadWarnings records packages or imports the loader could not
 	// fully resolve; analysis proceeded with partial type information.
 	LoadWarnings []string
+	// Timings accumulates each analyzer's total Run time across all
+	// packages, keyed by analyzer name (repolint -v reports it).
+	Timings map[string]time.Duration
 }
 
 // Run loads the module rooted at root and applies the analyzers to every
@@ -214,24 +224,45 @@ func RunDirs(root string, dirs []string, analyzers []Analyzer) (*Result, error) 
 	return analyze(l, pkgs, analyzers), nil
 }
 
-// analyze runs every analyzer over every package, applies //lint:ignore
-// suppression and returns findings in deterministic order.
+// analyze fans the analyzers out over the packages — one goroutine per
+// package, bounded by GOMAXPROCS — applies //lint:ignore suppression,
+// and returns findings in deterministic order: analysis is read-only on
+// type-checked packages and analyzers are stateless value types, so the
+// only shared state is the result set, and the final sort erases
+// scheduling order.
 func analyze(l *Loader, pkgs []*Package, analyzers []Analyzer) *Result {
-	res := &Result{Packages: pkgs, LoadWarnings: l.Warnings()}
+	res := &Result{Packages: pkgs, LoadWarnings: l.Warnings(), Timings: map[string]time.Duration{}}
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	)
 	for _, p := range pkgs {
-		ignores := make([]ignoreDirectives, len(p.Files))
-		for i, f := range p.Files {
-			ignores[i] = parseIgnores(p.Fset, f)
-		}
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if suppressed(p, ignores, f) {
-					continue
-				}
-				res.Findings = append(res.Findings, f)
+		wg.Add(1)
+		go func(p *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ignores := make([]ignoreDirectives, len(p.Files))
+			for i, f := range p.Files {
+				ignores[i] = parseIgnores(p.Fset, f)
 			}
-		}
+			for _, a := range analyzers {
+				start := time.Now()
+				found := a.Run(p)
+				elapsed := time.Since(start)
+				mu.Lock()
+				res.Timings[a.Name()] += elapsed
+				for _, f := range found {
+					if !suppressed(p, ignores, f) {
+						res.Findings = append(res.Findings, f)
+					}
+				}
+				mu.Unlock()
+			}
+		}(p)
 	}
+	wg.Wait()
 	sort.Slice(res.Findings, func(i, j int) bool {
 		a, b := res.Findings[i], res.Findings[j]
 		if a.File != b.File {
@@ -243,7 +274,10 @@ func analyze(l *Loader, pkgs []*Package, analyzers []Analyzer) *Result {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return res
 }

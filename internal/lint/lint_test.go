@@ -23,6 +23,10 @@ var fixtureDirs = []string{
 	"rngsource",
 	"divguard",
 	"deprecatedapi",
+	"goroutineleak",
+	"lockacrossblock",
+	"deferinloop",
+	"tickerstop",
 	"clean",
 }
 
@@ -131,6 +135,29 @@ func TestFixtureFindings(t *testing.T) {
 			"17:20 deprecatedapi error", // TrainDistributedHFObs
 			"20:17 deprecatedapi error", // TrainDistributedHFTCP
 			"25:14 deprecatedapi error", // RunWorker
+		},
+		"goroutineleak.go": {
+			"16:2 goroutineleak warn", // for{} with no exit in a func literal
+			"31:2 goroutineleak warn", // same loop through a named function
+			"37:2 goroutineleak warn", // http serve loop with no completion signal
+			"46:2 goroutineleak warn", // range over a never-closed channel
+		},
+		"lockacrossblock.go": {
+			"22:2 lockacrossblock error",  // channel send under mu
+			"29:12 lockacrossblock error", // channel receive under rw.RLock
+			"38:9 lockacrossblock error",  // mpi Allreduce under deferred unlock
+			"44:2 lockacrossblock error",  // no-default select under mu
+			"57:12 lockacrossblock error", // net.Conn.Write under deferred unlock
+		},
+		"deferinloop.go": {
+			"17:3 deferinloop warn", // defer f.Close() per loop iteration
+			"27:3 deferinloop warn", // defer mu.Unlock() per loop iteration
+		},
+		"tickerstop.go": {
+			"12:8 tickerstop error",  // NewTicker never stopped
+			"26:8 tickerstop warn",   // NewTimer never stopped
+			"37:8 tickerstop warn",   // AfterFunc never stopped
+			"49:10 tickerstop error", // time.Tick (unstoppable by construction)
 		},
 		"clean.go":      nil,
 		"clean_comm.go": nil,

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package of the module (or a test fixture):
@@ -190,12 +191,32 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 			Scopes:     map[ast.Node]*types.Scope{},
 		},
 	}
-	for _, name := range bp.GoFiles {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	// Parse the package's files concurrently: token.FileSet and
+	// parser.ParseFile are safe for concurrent use, and parsing is the
+	// bulk of per-package load time once the stdlib is warm. Order is
+	// preserved by index so positions and file/ignore pairing stay
+	// deterministic. Type checking below stays serial — the recursive
+	// importer mutates loader state.
+	pkg.Files = make([]*ast.File, len(bp.GoFiles))
+	parseErrs := make([]error, len(bp.GoFiles))
+	var wg sync.WaitGroup
+	for i, name := range bp.GoFiles {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+			if err != nil {
+				parseErrs[i] = fmt.Errorf("lint: parse %s: %w", path, err)
+				return
+			}
+			pkg.Files[i] = f
+		}(i, filepath.Join(dir, name))
+	}
+	wg.Wait()
+	for _, err := range parseErrs {
 		if err != nil {
-			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+			return nil, err
 		}
-		pkg.Files = append(pkg.Files, f)
 	}
 	conf := types.Config{
 		Importer:    l,

@@ -1,0 +1,63 @@
+// Package deferinloop is the seeded-bad fixture for the deferinloop
+// analyzer: defers that accumulate once per iteration.
+package deferinloop
+
+import (
+	"os"
+	"sync"
+)
+
+// openAll leaks one pending Close per file until the function returns.
+func openAll(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	return nil
+}
+
+// lockPerIter means every iteration after the first deadlocks: the
+// deferred unlocks all run at function exit.
+func lockPerIter(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+
+// --- sanctioned forms: none of these may fire ---
+
+// perIterFunc wraps the iteration body in a function literal, so the
+// defer runs once per call — the sanctioned per-iteration cleanup.
+func perIterFunc(paths []string) error {
+	for _, p := range paths {
+		err := func() error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deferOutsideLoop is the normal shape.
+func deferOutsideLoop(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package goroutineleak is the seeded-bad fixture for the goroutineleak
+// analyzer: fire-and-forget goroutines with no reachable shutdown path.
+package goroutineleak
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+func work() {}
+
+// spinForever loops with no exit, receive or select: nothing outside
+// the goroutine can ever stop it.
+func spinForever() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// pump is the named-function variant of the same leak.
+func pump() {
+	for {
+		work()
+	}
+}
+
+func spawnPump() {
+	go pump()
+}
+
+// serveNoJoin starts an http serve loop but gives the owner nothing to
+// join on after shutting the server down.
+func serveNoJoin(srv *http.Server, ln net.Listener) {
+	go func() {
+		_ = srv.Serve(ln)
+	}()
+}
+
+// rangeNeverClosed consumes a channel the spawning function never
+// closes and the goroutine never escapes.
+func rangeNeverClosed() chan int {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	return ch
+}
+
+// --- sanctioned forms: none of these may fire ---
+
+// doneLoop threads a done channel through a select: the owner can stop
+// it.
+func doneLoop(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// joinedServe signals completion after the serve loop returns, so Close
+// callers can join.
+func joinedServe(srv *http.Server, ln net.Listener) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		_ = srv.Serve(ln)
+		close(done)
+	}()
+	return done
+}
+
+// workerPool ranges over a channel its spawner closes — the worker-pool
+// contract.
+func workerPool(items []int) {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, it := range items {
+		ch <- it
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// bounded runs to completion on its own.
+func bounded(res chan<- int) {
+	go func() {
+		work()
+		res <- 1
+	}()
+}
+
+// selfTerminating exits its loop on error, like a transport read loop.
+func selfTerminating(c net.Conn) {
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,106 @@
+// Package tickerstop is the seeded-bad fixture for the tickerstop
+// analyzer: timers and tickers created without a Stop on any path.
+package tickerstop
+
+import "time"
+
+func work() {}
+
+// pollLeaky never stops its ticker: the runtime timer outlives the
+// function forever.
+func pollLeaky(done chan struct{}, every time.Duration) {
+	tk := time.NewTicker(every)
+	for {
+		select {
+		case <-done:
+			return
+		case <-tk.C:
+			work()
+		}
+	}
+}
+
+// timeoutLeaky leaves the timer armed; its capture stays pinned until
+// it fires.
+func timeoutLeaky(ch chan int, d time.Duration) int {
+	tm := time.NewTimer(d)
+	select {
+	case v := <-ch:
+		return v
+	case <-tm.C:
+		return -1
+	}
+}
+
+// watchdogLeaky arms an AfterFunc and forgets it.
+func watchdogLeaky(d time.Duration) {
+	af := time.AfterFunc(d, work)
+	_ = af
+	work()
+}
+
+// tickLeaky uses time.Tick: the ticker handle is unreachable, so it can
+// never be stopped at all.
+func tickLeaky(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.Tick(time.Second):
+			work()
+		}
+	}
+}
+
+// --- sanctioned forms: none of these may fire ---
+
+// pollStopped is the canonical shape: defer Stop right after creation.
+func pollStopped(done chan struct{}, every time.Duration) {
+	tk := time.NewTicker(every)
+	defer tk.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tk.C:
+			work()
+		}
+	}
+}
+
+// timeoutStopped disarms the timer in a deferred literal.
+func timeoutStopped(ch chan int, d time.Duration) int {
+	tm := time.NewTimer(d)
+	defer func() { tm.Stop() }()
+	select {
+	case v := <-ch:
+		return v
+	case <-tm.C:
+		return -1
+	}
+}
+
+// handedOff transfers ownership: the caller is responsible for Stop.
+func handedOff(every time.Duration) *time.Ticker {
+	tk := time.NewTicker(every)
+	return tk
+}
+
+type watchdog struct{ t *time.Timer }
+
+// storedOwnership parks the timer in a struct whose Close owns the
+// lifecycle.
+func storedOwnership(d time.Duration) *watchdog {
+	tm := time.AfterFunc(d, work)
+	return &watchdog{t: tm}
+}
+
+// resetKeepsAlive re-arms rather than stops: Reset counts as lifecycle
+// management.
+func resetKeepsAlive(tmCh chan int, d time.Duration) {
+	tm := time.NewTimer(d)
+	for range tmCh {
+		tm.Reset(d)
+	}
+	tm.Stop()
+}

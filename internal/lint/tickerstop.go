@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TickerStop flags time.Ticker/time.Timer values that are created but
+// never stopped in the creating function. An unstopped Ticker leaks its
+// runtime timer forever; an unstopped Timer holds its callback and
+// capture alive until it fires — and the watchdog/heartbeat timers this
+// repo arms are routinely longer-lived than the operations they guard,
+// so "it fires eventually" still means seconds of pinned memory per
+// collective in a tight CG loop. time.Tick is flagged unconditionally:
+// its ticker is unreachable and can never be stopped.
+//
+// The analyzer tracks locals assigned from time.NewTicker, time.NewTimer
+// or time.AfterFunc and requires a plain or deferred .Stop() (or
+// .Reset(...)) call on the same variable somewhere in the function,
+// including inside deferred function literals. A value that escapes the
+// function — returned, stored into a struct/slice/map, passed to a call,
+// aliased, or sent on a channel — transfers ownership and is exempt:
+// the lifecycle becomes the recipient's contract, typically audited at
+// its Close method.
+//
+// Severity: a missing Stop on a Ticker and any use of time.Tick are
+// errors (permanent leaks); a missing Stop on a Timer/AfterFunc is a
+// warning (bounded leak, still a hazard in loops).
+type TickerStop struct{}
+
+// Name implements Analyzer.
+func (TickerStop) Name() string { return "tickerstop" }
+
+// Doc implements Analyzer.
+func (TickerStop) Doc() string {
+	return "time.Ticker/Timer created without Stop on every exit path (and any " +
+		"time.Tick use); the runtime timer and its capture leak"
+}
+
+// Run implements Analyzer.
+func (t TickerStop) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				out = append(out, t.checkFunc(p, body)...)
+			}
+			return true // nested literals are re-visited with their own scope
+		})
+	}
+	return out
+}
+
+// timerLocal is one `x := time.NewTicker/NewTimer/AfterFunc(...)` site.
+type timerLocal struct {
+	id   *ast.Ident // the declared variable
+	ctor string     // "NewTicker", "NewTimer" or "AfterFunc"
+	node ast.Node   // position anchor for the finding
+}
+
+// checkFunc audits one function body. Constructor sites are collected
+// with nested function literals pruned (Run audits each literal with
+// its own scope), but Stop/escape uses are searched through the whole
+// body including nested literals: `defer func() { t.Stop() }()` and a
+// goroutine-side Stop are legitimate lifecycles.
+func (t TickerStop) checkFunc(p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	var locals []timerLocal
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			if s.Body != body { // prune nested literals, not the body itself
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := p.calleeFunc(s); fn != nil && pkgPath(fn) == "time" && fn.Name() == "Tick" {
+				out = append(out, p.finding(t, SevError, s,
+					"time.Tick leaks its ticker (no handle to Stop); use time.NewTicker with defer Stop"))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				ctor := timerCtor(p, rhs)
+				if ctor == "" || i >= len(s.Lhs) {
+					continue
+				}
+				if id, ok := unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name != "_" && p.objOf(id) != nil {
+					locals = append(locals, timerLocal{id: id, ctor: ctor, node: rhs})
+				}
+			}
+		}
+		return true
+	})
+
+	for _, tl := range locals {
+		obj := p.objOf(tl.id)
+		if timerStopped(p, body, obj) || timerEscapes(p, body, tl.id, obj) {
+			continue
+		}
+		sev := SevWarn
+		noun := "timer"
+		if tl.ctor == "NewTicker" {
+			sev = SevError
+			noun = "ticker"
+		}
+		out = append(out, p.finding(t, sev, tl.node,
+			"time.%s result %q is never stopped in this function; the %s and its "+
+				"capture leak — add (defer) %s.Stop() or hand ownership off explicitly",
+			tl.ctor, tl.id.Name, noun, tl.id.Name))
+	}
+	return out
+}
+
+// timerCtor reports which timer constructor (if any) the expression
+// calls.
+func timerCtor(p *Package, e ast.Expr) string {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := p.calleeFunc(call)
+	if fn == nil || pkgPath(fn) != "time" {
+		return ""
+	}
+	switch fn.Name() {
+	case "NewTicker", "NewTimer", "AfterFunc":
+		return fn.Name()
+	}
+	return ""
+}
+
+// timerStopped reports whether obj receives a .Stop() or .Reset(...)
+// call anywhere in body, including inside deferred/spawned literals.
+func timerStopped(p *Package, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Stop" && sel.Sel.Name != "Reset") {
+			return true
+		}
+		if id := rootIdent(sel.X); id != nil && p.objOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// timerEscapes reports whether the timer variable leaves the function's
+// custody: returned, passed as a call argument, stored through an
+// assignment (field, index, or alias), placed in a composite literal,
+// or sent on a channel. Any of these hands the Stop obligation to the
+// recipient.
+func timerEscapes(p *Package, body *ast.BlockStmt, decl *ast.Ident, obj types.Object) bool {
+	escaped := false
+	usesObj := func(e ast.Expr) bool {
+		used := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if used {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && id != decl && p.objOf(id) == obj {
+				used = true
+			}
+			return !used
+		})
+		return used
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if usesObj(r) {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			// Arguments only: a method call on the timer itself (t.Stop,
+			// t.Reset, <-t.C is not a call) does not transfer ownership.
+			for _, arg := range s.Args {
+				if usesObj(arg) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			// The declaring statement itself and blank assignments do not
+			// count; any other assignment with the timer on the right is a
+			// store or alias.
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) {
+					if id, ok := unparen(s.Lhs[i]).(*ast.Ident); ok && (id == decl || id.Name == "_") {
+						continue
+					}
+				}
+				if usesObj(rhs) {
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(s.Value) {
+				escaped = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				if usesObj(el) {
+					escaped = true
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}

@@ -220,6 +220,7 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 		// connection's lifetime.
 		_ = tc.c.SetWriteDeadline(time.Now().Add(d))
 	}
+	//lint:ignore lockacrossblock the write is deadline-bounded when shaping is on, and tc.mu serializes frame writes only — no collective or eviction path takes it
 	_, err := tc.c.Write(frame)
 	tc.mu.Unlock()
 	if err != nil {

@@ -20,8 +20,9 @@ import (
 // Handlers only read the plane's concurrency-safe components, so
 // scraping never blocks training.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine has returned
 }
 
 // NewServer starts the monitoring endpoint on addr (e.g. ":9090" or
@@ -66,11 +67,16 @@ func NewServer(addr string, p *Plane) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
 	go func() {
 		// ErrServerClosed after Close; anything else means the listener
 		// died, which monitoring tolerates silently (training goes on).
 		_ = s.srv.Serve(ln)
+		close(s.done)
 	}()
 	return s, nil
 }
@@ -83,10 +89,14 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the endpoint down; nil-safe.
+// Close shuts the endpoint down and joins the serve goroutine, so a
+// returned Close guarantees no goroutine of this Server remains;
+// nil-safe.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	<-s.done
+	return err
 }

@@ -474,3 +474,78 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("degraded /healthz = %d, want 503", code)
 	}
 }
+
+// TestServerCloseJoinsServeGoroutine is the regression test for the
+// goroutineleak finding on the monitoring endpoint: Close must not just
+// ask the http.Server to stop, it must wait for the serve goroutine to
+// return, so a returned Close guarantees the Server left nothing
+// running.
+func TestServerCloseJoinsServeGoroutine(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A nil plane still serves pprof; touch the endpoint so the serve
+	// loop has demonstrably started before we tear it down.
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return: serve goroutine never joined")
+	}
+	// The join contract: after Close returns, the serve goroutine has
+	// already exited and signalled completion.
+	select {
+	case <-srv.done:
+	default:
+		t.Fatal("Close returned before the serve goroutine exited")
+	}
+}
+
+// TestShipperBundleDrains is the regression test for shipper drain
+// semantics: each Bundle call must hand off the spans and events
+// accumulated since the previous call exactly once, so repeated flushes
+// (and the elastic master's failure-path drain) never duplicate or drop
+// telemetry.
+func TestShipperBundleDrains(t *testing.T) {
+	ob := &obs.Observer{
+		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewTracer(),
+		Events:  obs.NewEventLog(0),
+	}
+	ob.Span(0, "first").End()
+	ob.Eventf(0, "one")
+	ship := NewShipper(0, ob)
+
+	b1 := ship.Bundle()
+	if len(b1.Spans) != 1 || len(b1.Events) != 1 {
+		t.Fatalf("first bundle = %d spans / %d events, want 1/1", len(b1.Spans), len(b1.Events))
+	}
+
+	// Nothing new happened: the next bundle must be empty, not a replay.
+	b2 := ship.Bundle()
+	if len(b2.Spans) != 0 || len(b2.Events) != 0 {
+		t.Fatalf("second bundle not drained: %d spans / %d events", len(b2.Spans), len(b2.Events))
+	}
+
+	// New activity after the drain ships exactly once.
+	ob.Span(0, "second").End()
+	ob.Eventf(0, "two")
+	b3 := ship.Bundle()
+	if len(b3.Spans) != 1 || len(b3.Events) != 1 {
+		t.Fatalf("post-drain bundle = %d spans / %d events, want 1/1", len(b3.Spans), len(b3.Events))
+	}
+	if b3.Spans[0].Name != "second" || b3.Events[0].Text != "two" {
+		t.Fatalf("post-drain bundle replayed old telemetry: %+v", b3)
+	}
+}
