@@ -1,19 +1,23 @@
-.PHONY: verify lint commcheck numcheck faultcheck obscheck alloccheck determinism race race-mpi test bench bench_obs bench_fault bench_alloc
+.PHONY: verify lint commcheck numcheck p2pcheck faultcheck obscheck alloccheck determinism race race-mpi test bench bench_obs bench_fault bench_alloc
 
 # Full gate: compile, vet, the repo-specific static analyzers (including
-# the collective-protocol checker and the determinism/numerical-safety
-# quartet), the complete test suite under the race detector, the same
-# suites re-run with runtime protocol conformance checking on every
-# collective (-tags commcheck), the invariant-checked build of the
-# numeric core, the compiler-truth allocation gate on the hot paths,
-# and the bit-reproducible replay gate on both fabrics.
+# the collective-protocol checker, the point-to-point protocol family —
+# tag space, opcode state machine, send/recv pairing — and the
+# determinism/numerical-safety quartet), the complete test suite under
+# the race detector, the same suites re-run with runtime protocol
+# conformance checking on every collective (-tags commcheck), the
+# invariant-checked build of the numeric core, the compiler-truth
+# allocation and bounds-check gates on the hot paths, and the
+# bit-reproducible replay gate on both fabrics.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) alloccheck && $(MAKE) determinism
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) p2pcheck && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) alloccheck && $(MAKE) determinism
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
-# unguarded obs.Observer field access, and master/worker collective-
-# protocol conformance. Zero findings is the shipping bar.
+# unguarded obs.Observer field access, master/worker collective-protocol
+# conformance, and the point-to-point protocol family (tag space, opcode
+# state machine, send/recv pairing). Zero findings is the shipping bar.
+# Machine-readable output: -json, or -sarif for code-scanning upload.
 lint:
 	go vet ./... && go run ./cmd/repolint
 
@@ -29,6 +33,14 @@ commcheck:
 # use, and unguarded float division. See DESIGN.md, "Determinism".
 numcheck:
 	go run ./cmd/repolint -only maporderfloat,reduceorder,rngsource,divguard
+
+# Static point-to-point protocol verification only: the module-wide tag
+# map (collisions, dynamic-block overlaps, orphans), the elastic opcode
+# state machine (master senders vs worker dispatch arms, reply-length
+# agreement, opName coverage) and send/recv pairing (blocking recvs with
+# no counterpart send). See DESIGN.md, "P2P protocol verification".
+p2pcheck:
+	go run ./cmd/repolint -only tagspace,opproto,sendrecvpair
 
 # Fault-tolerance gate: the deprecated-API analyzer (no caller may bypass
 # the Session front door) plus the elastic runtime's fault suite — worker
@@ -51,15 +63,16 @@ obscheck:
 	go test -race ./internal/obs/telemetry
 	go test -race -run 'TestTelemetry' ./internal/core
 
-# Hot-path allocation gate, in three layers of evidence: the escape
-# gate (compile //lint:hotpath packages with -gcflags=-m=2 and fail any
-# hot function with a compiler-reported heap escape), the white-box
-# zero-alloc tests (testing.AllocsPerRun on the CG step and the packed
-# GEMM kernels), and the allocs/op benchmark gated against the
-# BENCH_alloc.json baseline. See DESIGN.md, "Concurrency & allocation
-# gates".
+# Hot-path allocation gate, in four layers of evidence: the escape gate
+# (compile //lint:hotpath packages with -gcflags=-m=2 and fail any hot
+# function with a compiler-reported heap escape), the bounds-check gate
+# (the same packages under -gcflags=-d=ssa/check_bce; hot kernels must
+# be bounds-check-free), the white-box zero-alloc tests
+# (testing.AllocsPerRun on the CG step and the packed GEMM kernels),
+# and the allocs/op benchmark gated against the BENCH_alloc.json
+# baseline. See DESIGN.md, "Concurrency & allocation gates".
 alloccheck:
-	go run ./cmd/repolint -only escape
+	go run ./cmd/repolint -only escape,bce
 	go test -run TestZeroAlloc ./internal/blas ./internal/hf
 	go test -bench BenchmarkAllocGate -benchtime 1x -run '^$$' .
 

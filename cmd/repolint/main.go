@@ -2,25 +2,29 @@
 // internal/lint over the module — unchecked MPI/IO errors, float
 // equality, locks copied by value, allocations in //lint:hotpath
 // kernels, unguarded obs.Observer field access, collective-protocol
-// conformance (commcheck), and the concurrency-lifecycle quartet
-// (goroutineleak, lockacrossblock, deferinloop, tickerstop) — plus the
-// compiler-truth escape gate, which compiles hot-path packages with
+// conformance (commcheck), the concurrency-lifecycle quartet
+// (goroutineleak, lockacrossblock, deferinloop, tickerstop), and the
+// point-to-point protocol family (opproto, sendrecvpair, plus the
+// module-scoped tagspace map of the wire-tag plan) — plus the two
+// compiler-truth gates: escape, which compiles hot-path packages with
 // -gcflags=-m=2 and fails any //lint:hotpath function containing a
-// compiler-reported heap escape.
+// compiler-reported heap escape, and bce, which compiles them with
+// -gcflags=-d=ssa/check_bce and fails any hot function still carrying a
+// bounds check.
 //
 // Usage:
 //
-//	repolint [-C dir] [-json] [-v] [-only name,...]
+//	repolint [-C dir] [-json|-sarif] [-v] [-only name,...]
 //	repolint -list
 //
 // Without flags it lints the module containing the current directory and
 // prints findings as file:line:col text. -json emits the stable
-// machine-readable schema (version 2) consumed by tooling; -only
-// restricts the run to the named analyzers (e.g. `-only commcheck`, the
-// `make commcheck` target, or `-only escape`, the `make alloccheck`
-// gate); -list documents the analyzers; -v reports load warnings and
-// per-analyzer timing to stderr. Exit status: 0 clean, 1 findings, 2
-// usage or load failure.
+// machine-readable schema (version 2) consumed by tooling; -sarif emits
+// SARIF 2.1.0 for code-scanning upload; -only restricts the run to the
+// named analyzers (e.g. `-only commcheck`, the `make commcheck` target,
+// or `-only escape,bce`, the `make alloccheck` gates); -list documents
+// the analyzers; -v reports load warnings and per-analyzer timing to
+// stderr. Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
@@ -50,23 +54,41 @@ type jsonReport struct {
 	Findings []lint.Finding `json:"findings"`
 }
 
+// selection is the resolved -only set: per-package analyzers, module
+// analyzers, and which compiler-truth gates to run.
+type selection struct {
+	analyzers []lint.Analyzer
+	mods      []lint.ModuleAnalyzer
+	runEscape bool
+	runBCE    bool
+}
+
 func main() {
 	dir := flag.String("C", ".", "lint the module containing this directory")
 	asJSON := flag.Bool("json", false, "emit findings as JSON (stable schema)")
+	asSARIF := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (code-scanning upload)")
 	verbose := flag.Bool("v", false, "print load warnings and per-analyzer timing to stderr")
 	list := flag.Bool("list", false, "list analyzers and exit")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all, including escape)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all, including the escape and bce gates)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
 			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
 		}
+		for _, a := range lint.ModuleAnalyzers() {
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+		}
 		fmt.Printf("%-16s %s\n", escape.Name, escape.Doc)
+		fmt.Printf("%-16s %s\n", escape.BCEName, escape.BCEDoc)
 		return
 	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(os.Stderr, "repolint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
-	analyzers, runEscape, err := selectAnalyzers(*only)
+	sel, err := selectAnalyzers(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
@@ -80,8 +102,8 @@ func main() {
 
 	findings := []lint.Finding{}
 	timings := map[string]time.Duration{}
-	if len(analyzers) > 0 {
-		res, err := lint.Run(root, analyzers)
+	if len(sel.analyzers) > 0 || len(sel.mods) > 0 {
+		res, err := lint.RunFull(root, sel.analyzers, sel.mods)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repolint:", err)
 			os.Exit(2)
@@ -97,27 +119,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "repolint: analyzed %d packages\n", len(res.Packages))
 		}
 	}
-	if runEscape {
+	gates := []struct {
+		run  bool
+		name string
+		fn   func(string) ([]lint.Finding, error)
+	}{
+		{sel.runEscape, escape.Name, escape.Analyze},
+		{sel.runBCE, escape.BCEName, escape.AnalyzeBCE},
+	}
+	for _, g := range gates {
+		if !g.run {
+			continue
+		}
 		start := time.Now()
-		escFindings, err := escape.Analyze(root)
+		gateFindings, err := g.fn(root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repolint:", err)
 			os.Exit(2)
 		}
-		timings[escape.Name] = time.Since(start)
-		findings = append(findings, escFindings...)
+		timings[g.name] = time.Since(start)
+		findings = append(findings, gateFindings...)
 	}
 	sortFindings(findings)
 	if *verbose {
 		printTimings(os.Stderr, timings)
 	}
 
-	if *asJSON {
+	switch {
+	case *asJSON:
 		if err := writeJSON(os.Stdout, buildReport(findings)); err != nil {
 			fmt.Fprintln(os.Stderr, "repolint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *asSARIF:
+		if err := writeSARIF(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	default:
 		for _, f := range findings {
 			fmt.Printf("%s [%s]\n", f, f.Severity)
 		}
@@ -130,14 +169,16 @@ func main() {
 	}
 }
 
-// selectAnalyzers resolves a -only list against the suite (plus the
-// "escape" gate, which is not a lint.Analyzer — it runs the compiler —
-// but shares the name namespace), preserving the suite's stable order;
-// an empty list selects everything including the escape gate.
-func selectAnalyzers(only string) ([]lint.Analyzer, bool, error) {
+// selectAnalyzers resolves a -only list against the suite — per-package
+// analyzers, module analyzers, and the "escape"/"bce" gates, which are
+// not lint.Analyzers (they run the compiler) but share the name
+// namespace — preserving the suite's stable order; an empty list
+// selects everything including both gates.
+func selectAnalyzers(only string) (selection, error) {
 	all := lint.Analyzers()
+	allMods := lint.ModuleAnalyzers()
 	if only == "" {
-		return all, true, nil
+		return selection{analyzers: all, mods: allMods, runEscape: true, runBCE: true}, nil
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(only, ",") {
@@ -145,12 +186,18 @@ func selectAnalyzers(only string) ([]lint.Analyzer, bool, error) {
 			want[n] = true
 		}
 	}
-	runEscape := want[escape.Name]
+	sel := selection{runEscape: want[escape.Name], runBCE: want[escape.BCEName]}
 	delete(want, escape.Name)
-	var sel []lint.Analyzer
+	delete(want, escape.BCEName)
 	for _, a := range all {
 		if want[a.Name()] {
-			sel = append(sel, a)
+			sel.analyzers = append(sel.analyzers, a)
+			delete(want, a.Name())
+		}
+	}
+	for _, a := range allMods {
+		if want[a.Name()] {
+			sel.mods = append(sel.mods, a)
 			delete(want, a.Name())
 		}
 	}
@@ -160,12 +207,12 @@ func selectAnalyzers(only string) ([]lint.Analyzer, bool, error) {
 			unknown = append(unknown, n)
 		}
 		sort.Strings(unknown)
-		return nil, false, fmt.Errorf("unknown analyzer(s) %s (see repolint -list)", strings.Join(unknown, ", "))
+		return selection{}, fmt.Errorf("unknown analyzer(s) %s (see repolint -list)", strings.Join(unknown, ", "))
 	}
-	if len(sel) == 0 && !runEscape {
-		return nil, false, fmt.Errorf("-only selected no analyzers")
+	if len(sel.analyzers) == 0 && len(sel.mods) == 0 && !sel.runEscape && !sel.runBCE {
+		return selection{}, fmt.Errorf("-only selected no analyzers")
 	}
-	return sel, runEscape, nil
+	return sel, nil
 }
 
 // sortFindings restores position order after merging the analyzer and

@@ -50,50 +50,138 @@ func TestJSONSchemaSnapshot(t *testing.T) {
 }
 
 // TestSelectAnalyzers pins the -only flag: names resolve in suite
-// order, unknown names fail, empty selects everything plus the escape
-// gate.
+// order, unknown names fail, empty selects everything plus the module
+// analyzers and both compiler-truth gates.
 func TestSelectAnalyzers(t *testing.T) {
-	all, esc, err := selectAnalyzers("")
-	if err != nil || len(all) != len(lint.Analyzers()) || !esc {
-		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, escape %v, err %v; want full suite + escape", len(all), esc, err)
+	sel, err := selectAnalyzers("")
+	if err != nil || len(sel.analyzers) != len(lint.Analyzers()) ||
+		len(sel.mods) != len(lint.ModuleAnalyzers()) || !sel.runEscape || !sel.runBCE {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, %d module analyzers, escape %v, bce %v, err %v; want the full suite",
+			len(sel.analyzers), len(sel.mods), sel.runEscape, sel.runBCE, err)
 	}
-	sel, esc, err := selectAnalyzers("commcheck")
-	if err != nil || len(sel) != 1 || sel[0].Name() != "commcheck" || esc {
-		t.Fatalf("selectAnalyzers(commcheck) = %v, escape %v, err %v", sel, esc, err)
+	sel, err = selectAnalyzers("commcheck")
+	if err != nil || len(sel.analyzers) != 1 || sel.analyzers[0].Name() != "commcheck" ||
+		len(sel.mods) != 0 || sel.runEscape || sel.runBCE {
+		t.Fatalf("selectAnalyzers(commcheck) = %+v, err %v", sel, err)
 	}
-	sel, _, err = selectAnalyzers("obsnilguard, commcheck")
-	if err != nil || len(sel) != 2 {
-		t.Fatalf("selectAnalyzers(two) = %v, err %v", sel, err)
+	sel, err = selectAnalyzers("obsnilguard, commcheck")
+	if err != nil || len(sel.analyzers) != 2 {
+		t.Fatalf("selectAnalyzers(two) = %+v, err %v", sel, err)
 	}
-	if _, _, err = selectAnalyzers("nosuchanalyzer"); err == nil {
+	if _, err = selectAnalyzers("nosuchanalyzer"); err == nil {
 		t.Fatal("unknown analyzer accepted")
 	}
 	// The numcheck quartet resolves as a group — the `make numcheck`
 	// invocation — and in suite order regardless of request order.
-	sel, _, err = selectAnalyzers("divguard,maporderfloat,reduceorder,rngsource")
-	if err != nil || len(sel) != 4 {
-		t.Fatalf("selectAnalyzers(numcheck quartet) = %v, err %v", sel, err)
+	sel, err = selectAnalyzers("divguard,maporderfloat,reduceorder,rngsource")
+	if err != nil || len(sel.analyzers) != 4 {
+		t.Fatalf("selectAnalyzers(numcheck quartet) = %+v, err %v", sel, err)
 	}
 	want := []string{"maporderfloat", "reduceorder", "rngsource", "divguard"}
-	for i, a := range sel {
+	for i, a := range sel.analyzers {
 		if a.Name() != want[i] {
 			t.Errorf("numcheck quartet[%d] = %s, want %s (suite order)", i, a.Name(), want[i])
 		}
 	}
 	// The concurrency quartet is part of the suite.
-	sel, _, err = selectAnalyzers("goroutineleak,lockacrossblock,deferinloop,tickerstop")
-	if err != nil || len(sel) != 4 {
-		t.Fatalf("selectAnalyzers(concurrency quartet) = %v, err %v", sel, err)
+	sel, err = selectAnalyzers("goroutineleak,lockacrossblock,deferinloop,tickerstop")
+	if err != nil || len(sel.analyzers) != 4 {
+		t.Fatalf("selectAnalyzers(concurrency quartet) = %+v, err %v", sel, err)
 	}
-	// The escape gate resolves alone (the `make alloccheck` invocation)
-	// and alongside analyzers.
-	sel, esc, err = selectAnalyzers("escape")
-	if err != nil || len(sel) != 0 || !esc {
-		t.Fatalf("selectAnalyzers(escape) = %v, escape %v, err %v", sel, esc, err)
+	// The p2pcheck family resolves as a group — the `make p2pcheck`
+	// invocation — with tagspace landing in the module-analyzer set.
+	sel, err = selectAnalyzers("tagspace,opproto,sendrecvpair")
+	if err != nil || len(sel.analyzers) != 2 || len(sel.mods) != 1 ||
+		sel.mods[0].Name() != "tagspace" || sel.runEscape || sel.runBCE {
+		t.Fatalf("selectAnalyzers(p2pcheck family) = %+v, err %v", sel, err)
 	}
-	sel, esc, err = selectAnalyzers("escape,hotpathalloc")
-	if err != nil || len(sel) != 1 || sel[0].Name() != "hotpathalloc" || !esc {
-		t.Fatalf("selectAnalyzers(escape,hotpathalloc) = %v, escape %v, err %v", sel, esc, err)
+	// The compiler-truth gates resolve alone (the `make alloccheck`
+	// invocation) and alongside analyzers.
+	sel, err = selectAnalyzers("escape,bce")
+	if err != nil || len(sel.analyzers) != 0 || len(sel.mods) != 0 || !sel.runEscape || !sel.runBCE {
+		t.Fatalf("selectAnalyzers(escape,bce) = %+v, err %v", sel, err)
+	}
+	sel, err = selectAnalyzers("escape,hotpathalloc")
+	if err != nil || len(sel.analyzers) != 1 || sel.analyzers[0].Name() != "hotpathalloc" || !sel.runEscape || sel.runBCE {
+		t.Fatalf("selectAnalyzers(escape,hotpathalloc) = %+v, err %v", sel, err)
+	}
+}
+
+// TestSARIFSnapshot locks the -sarif output shape against a golden
+// file, using the same uncheckederr fixture findings as the JSON
+// snapshot so the two formats stay in lockstep. Regenerate deliberately
+// with `go test -update`.
+func TestSARIFSnapshot(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.RunDir(root, filepath.Join(root, "internal/lint/testdata/src/uncheckederr"), lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, res.Findings); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report.golden.sarif")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-sarif output drifted from the golden snapshot (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSARIFCleanRun ensures a finding-free SARIF log still carries the
+// schema header, the full rule table, and an empty (never null) results
+// array.
+func TestSARIFCleanRun(t *testing.T) {
+	log := buildSARIF(nil)
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = %+v, want one 2.1.0 run", log)
+	}
+	run := log.Runs[0]
+	if run.Results == nil || len(run.Results) != 0 {
+		t.Errorf("clean run results = %#v, want empty non-nil", run.Results)
+	}
+	wantRules := len(lint.Analyzers()) + len(lint.ModuleAnalyzers()) + 2
+	if len(run.Tool.Driver.Rules) != wantRules {
+		t.Errorf("rule table has %d entries, want %d (suite + tagspace + escape + bce)", len(run.Tool.Driver.Rules), wantRules)
+	}
+	ids := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"commcheck", "opproto", "sendrecvpair", "tagspace", "escape", "bce"} {
+		if !ids[want] {
+			t.Errorf("rule table missing %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("clean SARIF renders results as null:\n%s", buf.String())
+	}
+}
+
+// TestSARIFLevelMapping pins the severity → SARIF level mapping.
+func TestSARIFLevelMapping(t *testing.T) {
+	if got := sarifLevel(lint.SevError); got != "error" {
+		t.Errorf("sarifLevel(error) = %q", got)
+	}
+	if got := sarifLevel(lint.SevWarn); got != "warning" {
+		t.Errorf("sarifLevel(warn) = %q", got)
 	}
 }
 

@@ -80,71 +80,193 @@ func gemmBlocked(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matri
 	}
 }
 
+// packBounds is the cold fail-fast for the geometry guards below: the
+// guards are unreachable for well-formed matrices and pack buffers, and
+// hoisting the panic keeps the hot bodies small enough to inline.
+//
+//go:noinline
+func packBounds() {
+	panic("blas: packed-panel geometry out of range")
+}
+
 // packA copies the mc×kc block of op(A) at (i0, p0) into panels of mr rows
 // in k-major order, zero-padding the final partial panel. The packed
 // layout guarantees stride-one access in the micro-kernel, the portable
 // equivalent of the paper's reformatting of A for the L1P prefetch engine.
 //
+// Every loop is structured as a cursor advance behind a uint guard so
+// the compiler's prove pass eliminates all per-element bounds checks;
+// the bce gate (internal/lint/escape) keeps it that way.
+//
 //lint:hotpath
 func packA(a *tensor.Matrix, tA Transpose, i0, p0, mc, kc int, buf []float32) {
 	for ip := 0; ip < mc; ip += mr {
 		rows := min(mr, mc-ip)
-		panel := buf[(ip/mr)*kc*mr:]
+		po := (ip / mr) * kc * mr
+		if uint(po) > uint(len(buf)) {
+			packBounds()
+			return
+		}
+		panel := buf[po:]
 		if tA == NoTrans {
 			for r := 0; r < rows; r++ {
-				src := a.Data[(i0+ip+r)*a.Stride+p0:]
-				for p := 0; p < kc; p++ {
-					panel[p*mr+r] = src[p]
+				so := (i0+ip+r)*a.Stride + p0
+				if uint(so) > uint(len(a.Data)) {
+					packBounds()
+					return
 				}
+				scatterMR(panel, r, a.Data[so:], kc)
 			}
 		} else {
 			// op(A)[i][p] = A[p][i]: walk A rows (p) contiguously.
+			so := p0*a.Stride + i0 + ip
+			if uint(so) > uint(len(a.Data)) {
+				packBounds()
+				return
+			}
+			src := a.Data[so:]
+			d := panel
 			for p := 0; p < kc; p++ {
-				src := a.Data[(p0+p)*a.Stride+i0+ip:]
-				dst := panel[p*mr : p*mr+rows]
-				copy(dst, src[:rows])
+				if p > 0 {
+					if uint(a.Stride) > uint(len(src)) || len(d) < mr {
+						packBounds()
+						return
+					}
+					src = src[a.Stride:]
+					d = d[mr:]
+				}
+				if uint(rows) > uint(len(src)) || uint(rows) > uint(len(d)) {
+					packBounds()
+					return
+				}
+				copy(d[:rows], src[:rows])
 			}
 		}
 		if rows < mr {
-			for p := 0; p < kc; p++ {
-				for r := rows; r < mr; r++ {
-					panel[p*mr+r] = 0
-				}
-			}
+			padPanel(panel, rows, mr, kc)
 		}
 	}
 }
 
+// scatterMR stores n consecutive src elements into d at indices r,
+// r+mr, r+2·mr, … — one column of a packed A panel. The strided store
+// advances a cursor whose slice operations are all justified by the
+// loop condition, so the body carries no bounds checks; the final
+// element is stored outside the loop because the last cursor position
+// may have fewer than mr elements left.
+//
+//lint:hotpath
+func scatterMR(d []float32, r int, src []float32, n int) {
+	if uint(r) >= uint(len(d)) {
+		packBounds()
+		return
+	}
+	d = d[r:]
+	for n > 1 && len(d) >= mr && len(src) > 0 {
+		d[0] = src[0]
+		d = d[mr:]
+		src = src[1:]
+		n--
+	}
+	if n > 0 && len(d) > 0 && len(src) > 0 {
+		d[0] = src[0]
+	}
+}
+
+// padPanel zeroes entries lanes..width-1 of each of the n width-wide
+// k-slices of a packed panel — the fringe of a partial tile. The
+// countdown with an explicit j >= 0 bound keeps the stores check-free
+// without knowing lanes' sign.
+//
+//lint:hotpath
+func padPanel(d []float32, lanes, width, n int) {
+	for ; n > 0 && len(d) >= width && width > 0; n-- {
+		row := d[:width]
+		// Simple down-counting induction (the lanes cut-off is a break, not
+		// part of the condition) so prove recognizes 0 <= j < width.
+		for j := width - 1; j >= 0; j-- {
+			if j < lanes {
+				break
+			}
+			row[j] = 0
+		}
+		d = d[width:]
+	}
+}
+
 // packB copies the kc×nc block of op(B) at (p0, j0) into panels of nr
-// columns in k-major order, zero-padding the final partial panel.
+// columns in k-major order, zero-padding the final partial panel. Like
+// packA it is written in the guarded-cursor style the bce gate locks in.
 //
 //lint:hotpath
 func packB(b *tensor.Matrix, tB Transpose, p0, j0, kc, nc int, buf []float32) {
 	for jp := 0; jp < nc; jp += nr {
 		cols := min(nr, nc-jp)
-		panel := buf[(jp/nr)*kc*nr:]
+		po := (jp / nr) * kc * nr
+		if uint(po) > uint(len(buf)) {
+			packBounds()
+			return
+		}
+		panel := buf[po:]
 		if tB == NoTrans {
+			so := p0*b.Stride + j0 + jp
+			if uint(so) > uint(len(b.Data)) {
+				packBounds()
+				return
+			}
+			src := b.Data[so:]
+			d := panel
 			for p := 0; p < kc; p++ {
-				src := b.Data[(p0+p)*b.Stride+j0+jp:]
-				dst := panel[p*nr : p*nr+cols]
-				copy(dst, src[:cols])
+				if p > 0 {
+					if uint(b.Stride) > uint(len(src)) || len(d) < nr {
+						packBounds()
+						return
+					}
+					src = src[b.Stride:]
+					d = d[nr:]
+				}
+				if uint(cols) > uint(len(src)) || uint(cols) > uint(len(d)) {
+					packBounds()
+					return
+				}
+				copy(d[:cols], src[:cols])
 			}
 		} else {
 			// op(B)[p][j] = B[j][p]: walk B rows (j) contiguously.
 			for j := 0; j < cols; j++ {
-				src := b.Data[(j0+jp+j)*b.Stride+p0:]
-				for p := 0; p < kc; p++ {
-					panel[p*nr+j] = src[p]
+				so := (j0+jp+j)*b.Stride + p0
+				if uint(so) > uint(len(b.Data)) {
+					packBounds()
+					return
 				}
+				scatterNR(panel, j, b.Data[so:], kc)
 			}
 		}
 		if cols < nr {
-			for p := 0; p < kc; p++ {
-				for j := cols; j < nr; j++ {
-					panel[p*nr+j] = 0
-				}
-			}
+			padPanel(panel, cols, nr, kc)
 		}
+	}
+}
+
+// scatterNR is scatterMR's nr-stride twin: it stores n consecutive src
+// elements into d at indices j, j+nr, j+2·nr, … — one row of a packed
+// B panel.
+//
+//lint:hotpath
+func scatterNR(d []float32, j int, src []float32, n int) {
+	if uint(j) >= uint(len(d)) {
+		packBounds()
+		return
+	}
+	d = d[j:]
+	for n > 1 && len(d) >= nr && len(src) > 0 {
+		d[0] = src[0]
+		d = d[nr:]
+		src = src[1:]
+		n--
+	}
+	if n > 0 && len(d) > 0 && len(src) > 0 {
+		d[0] = src[0]
 	}
 }
 
@@ -155,11 +277,21 @@ func packB(b *tensor.Matrix, tB Transpose, p0, j0, kc, nc int, buf []float32) {
 func macroKernel(abuf, bbuf []float32, c *tensor.Matrix, ic, jc, mc, nc, kc int, alpha float32) {
 	for jp := 0; jp < nc; jp += nr {
 		cols := min(nr, nc-jp)
-		bpanel := bbuf[(jp/nr)*kc*nr:]
+		bo := (jp / nr) * kc * nr
+		if uint(bo) > uint(len(bbuf)) {
+			packBounds()
+			return
+		}
+		bpanel := bbuf[bo:]
 		for ip := 0; ip < mc; ip += mr {
 			rows := min(mr, mc-ip)
-			apanel := abuf[(ip/mr)*kc*mr:]
+			ao := (ip / mr) * kc * mr
 			coff := (ic+ip)*c.Stride + jc + jp
+			if uint(ao) > uint(len(abuf)) || uint(coff) > uint(len(c.Data)) {
+				packBounds()
+				return
+			}
+			apanel := abuf[ao:]
 			if rows == mr && cols == nr {
 				microKernel8x4(kc, apanel, bpanel, c.Data[coff:], c.Stride, alpha)
 			} else {
@@ -186,13 +318,17 @@ func microKernel8x4(kc int, ap, bp []float32, c []float32, ldc int, alpha float3
 		c60, c61, c62, c63 float32
 		c70, c71, c72, c73 float32
 	)
-	ap = ap[:kc*mr]
-	bp = bp[:kc*nr]
 	for p := 0; p < kc; p++ {
-		b := bp[p*nr : p*nr+nr : p*nr+nr]
+		if len(ap) < mr || len(bp) < nr {
+			packBounds()
+			return
+		}
+		b := bp[:nr:nr]
 		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
-		a := ap[p*mr : p*mr+mr : p*mr+mr]
+		a := ap[:mr:mr]
 		a0, a1, a2, a3, a4, a5, a6, a7 := a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]
+		ap = ap[mr:]
+		bp = bp[nr:]
 		c00 += a0 * b0
 		c01 += a0 * b1
 		c02 += a0 * b2
@@ -226,46 +362,34 @@ func microKernel8x4(kc int, ap, bp []float32, c []float32, ldc int, alpha float3
 		c72 += a7 * b2
 		c73 += a7 * b3
 	}
-	row := c[0*ldc : 0*ldc+nr]
-	row[0] += alpha * c00
-	row[1] += alpha * c01
-	row[2] += alpha * c02
-	row[3] += alpha * c03
-	row = c[1*ldc : 1*ldc+nr]
-	row[0] += alpha * c10
-	row[1] += alpha * c11
-	row[2] += alpha * c12
-	row[3] += alpha * c13
-	row = c[2*ldc : 2*ldc+nr]
-	row[0] += alpha * c20
-	row[1] += alpha * c21
-	row[2] += alpha * c22
-	row[3] += alpha * c23
-	row = c[3*ldc : 3*ldc+nr]
-	row[0] += alpha * c30
-	row[1] += alpha * c31
-	row[2] += alpha * c32
-	row[3] += alpha * c33
-	row = c[4*ldc : 4*ldc+nr]
-	row[0] += alpha * c40
-	row[1] += alpha * c41
-	row[2] += alpha * c42
-	row[3] += alpha * c43
-	row = c[5*ldc : 5*ldc+nr]
-	row[0] += alpha * c50
-	row[1] += alpha * c51
-	row[2] += alpha * c52
-	row[3] += alpha * c53
-	row = c[6*ldc : 6*ldc+nr]
-	row[0] += alpha * c60
-	row[1] += alpha * c61
-	row[2] += alpha * c62
-	row[3] += alpha * c63
-	row = c[7*ldc : 7*ldc+nr]
-	row[0] += alpha * c70
-	row[1] += alpha * c71
-	row[2] += alpha * c72
-	row[3] += alpha * c73
+	c = storeRow4(c, alpha, c00, c01, c02, c03, ldc)
+	c = storeRow4(c, alpha, c10, c11, c12, c13, ldc)
+	c = storeRow4(c, alpha, c20, c21, c22, c23, ldc)
+	c = storeRow4(c, alpha, c30, c31, c32, c33, ldc)
+	c = storeRow4(c, alpha, c40, c41, c42, c43, ldc)
+	c = storeRow4(c, alpha, c50, c51, c52, c53, ldc)
+	c = storeRow4(c, alpha, c60, c61, c62, c63, ldc)
+	// The final row advances by 0: C may end exactly at this tile's edge.
+	storeRow4(c, alpha, c70, c71, c72, c73, 0)
+}
+
+// storeRow4 accumulates one nr-wide register row into the head of the C
+// cursor and returns the cursor advanced by ldc to the next row. The
+// single guard justifies both the window and the advance, so the stores
+// carry no bounds checks.
+//
+//lint:hotpath
+func storeRow4(c []float32, alpha, v0, v1, v2, v3 float32, ldc int) []float32 {
+	if len(c) < nr || uint(ldc) > uint(len(c)) {
+		packBounds()
+		return nil
+	}
+	row := c[:nr:nr]
+	row[0] += alpha * v0
+	row[1] += alpha * v1
+	row[2] += alpha * v2
+	row[3] += alpha * v3
+	return c[ldc:]
 }
 
 // microKernelEdge handles partial tiles at the matrix fringe. The packed
@@ -278,8 +402,14 @@ func microKernel8x4(kc int, ap, bp []float32, c []float32, ldc int, alpha float3
 func microKernelEdge(kc int, ap, bp []float32, c []float32, ldc, rows, cols int, alpha float32) {
 	var acc [mr * nr]float32
 	for p := 0; p < kc; p++ {
-		b := bp[p*nr : p*nr+nr]
-		a := ap[p*mr : p*mr+mr]
+		if len(ap) < mr || len(bp) < nr {
+			packBounds()
+			return
+		}
+		b := bp[:nr:nr]
+		a := ap[:mr:mr]
+		ap = ap[mr:]
+		bp = bp[nr:]
 		for r := 0; r < mr; r++ {
 			ar := a[r]
 			acc[r*nr+0] += ar * b[0]
@@ -288,9 +418,27 @@ func microKernelEdge(kc int, ap, bp []float32, c []float32, ldc, rows, cols int,
 			acc[r*nr+3] += ar * b[3]
 		}
 	}
+	// Write back only the rows×cols region that exists in C, walking an
+	// accumulator cursor in lockstep with the C row cursor.
+	av := acc[:]
 	for r := 0; r < rows; r++ {
-		for j := 0; j < cols; j++ {
-			c[r*ldc+j] += alpha * acc[r*nr+j]
+		if r > 0 {
+			if uint(ldc) > uint(len(c)) || len(av) < 2*nr {
+				packBounds()
+				return
+			}
+			c = c[ldc:]
+			av = av[nr:]
+		}
+		// Re-establish len(av) >= nr after the merge: prove loses the
+		// loop-carried fact across the phi.
+		if len(av) < nr {
+			packBounds()
+			return
+		}
+		arow := av[:nr:nr]
+		for j := 0; j < cols && j < len(c) && j < nr; j++ {
+			c[j] += alpha * arow[j]
 		}
 	}
 }

@@ -21,14 +21,20 @@ func lenMismatch(op string, nx, ny int) {
 
 // Axpy computes y += alpha*x.
 //
+// The loop runs inside the equal-length branch (here and in Dot and
+// Axpby below) so the compiler's prove pass sees len(y) == len(x) on
+// the hot path and drops the y[i] bounds check; the bce gate locks the
+// kernels check-free.
+//
 //lint:hotpath
 func Axpy(alpha float32, x, y []float32) {
-	if len(x) != len(y) {
-		lenMismatch("Axpy", len(x), len(y))
+	if len(x) == len(y) {
+		for i, v := range x {
+			y[i] += alpha * v
+		}
+		return
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	lenMismatch("Axpy", len(x), len(y))
 }
 
 // Dot returns xᵀy accumulated in float64; CG's α and β recurrences are
@@ -36,14 +42,15 @@ func Axpy(alpha float32, x, y []float32) {
 //
 //lint:hotpath
 func Dot(x, y []float32) float64 {
-	if len(x) != len(y) {
-		lenMismatch("Dot", len(x), len(y))
+	if len(x) == len(y) {
+		var s float64
+		for i, v := range x {
+			s += float64(v) * float64(y[i])
+		}
+		return s
 	}
-	var s float64
-	for i, v := range x {
-		s += float64(v) * float64(y[i])
-	}
-	return s
+	lenMismatch("Dot", len(x), len(y))
+	return 0
 }
 
 // Scal computes x *= alpha.
@@ -80,10 +87,11 @@ func Copy(x, y []float32) {
 //
 //lint:hotpath
 func Axpby(alpha float32, x []float32, beta float32, y []float32) {
-	if len(x) != len(y) {
-		lenMismatch("Axpby", len(x), len(y))
+	if len(x) == len(y) {
+		for i, v := range x {
+			y[i] = alpha*v + beta*y[i]
+		}
+		return
 	}
-	for i, v := range x {
-		y[i] = alpha*v + beta*y[i]
-	}
+	lenMismatch("Axpby", len(x), len(y))
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/tensor"
+)
+
+// TestReservedTagPlan pins the trainer's static point-to-point tag plan
+// and its disjointness from the tags the mpi package reserves. The
+// tagspace analyzer proves the uses inside each module are collision-free;
+// this test pins the constant values themselves so perturbing any of them
+// fails make verify even when the perturbed value never appears in a
+// literal tag position (e.g. mpi.DefaultHeartbeatTag, which reaches Send
+// only through FaultPolicy.HeartbeatTag).
+func TestReservedTagPlan(t *testing.T) {
+	pins := []struct {
+		name      string
+		got, want int
+	}{
+		{"tagShard", tagShard, 9000},
+		{"tagAsyncGrad", tagAsyncGrad, 9100},
+		{"tagAsyncPull", tagAsyncPull, 9101},
+		{"tagAsyncParam", tagAsyncParam, 9102},
+		{"tagAsyncDone", tagAsyncDone, 9103},
+		{"tagAsyncFinal", tagAsyncFinal, 9104},
+		{"tagAsyncEval", tagAsyncEval, 9105},
+		{"tagElastic", tagElastic, 9500},
+		{"mpi.TagClockSync", mpi.TagClockSync, 9600},
+		{"mpi.TagTelemetry", mpi.TagTelemetry, 9601},
+		{"tagElasticReply", tagElasticReply, 16 << 24},
+		{"mpi.DefaultHeartbeatTag", mpi.DefaultHeartbeatTag, 17 << 24},
+	}
+	seen := map[int]string{}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %d, want %d", p.name, p.got, p.want)
+		}
+		if prev, dup := seen[p.got]; dup {
+			t.Errorf("%s and %s share tag %d", prev, p.name, p.got)
+		}
+		seen[p.got] = p.name
+	}
+
+	// Both round-offset blocks (elastic replies at tagElasticReply+round,
+	// heartbeat pongs at HeartbeatTag+round) must hold any round below
+	// 2²⁴ without crossing into the neighbouring block.
+	const maxRound = 1<<24 - 1
+	if tagElasticReply+maxRound >= mpi.DefaultHeartbeatTag {
+		t.Errorf("elastic reply block [%d, %d] overlaps the heartbeat block at %d",
+			tagElasticReply, tagElasticReply+maxRound, mpi.DefaultHeartbeatTag)
+	}
+}
+
+// TestOpNameCoverage keeps opName total over the objective opcode set:
+// a newly added opcode that falls through to the numeric default would
+// ship unreadable FaultReports and event-log entries.
+func TestOpNameCoverage(t *testing.T) {
+	ops := []float32{
+		opSetParams, opGradient, opSample, opGNProduct, opHeldLoss,
+		opAccuracy, opFisherDiag, opStop, opClockSync, opTelemetry,
+	}
+	if last := opSetParams + float32(len(ops)) - 1; last != opTelemetry {
+		t.Errorf("opcode range [%v, %v] does not cover %d contiguous ops — update this test's op list",
+			opSetParams, opTelemetry, len(ops))
+	}
+	seen := map[string]float32{}
+	for _, op := range ops {
+		name := opName(op)
+		if strings.HasPrefix(name, "op") {
+			t.Errorf("opName(%v) fell through to the numeric default %q", op, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opName maps both %v and %v to %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+	// One past the last opcode has no name and must fall through.
+	if got := opName(opTelemetry + 1); !strings.HasPrefix(got, "op") {
+		t.Errorf("opName(%v) = %q, want the numeric default", opTelemetry+1, got)
+	}
+}
+
+// TestReplyLengthAgreement ties the worker's reply encoders to the
+// lengths the elastic master demands in gatherOp: vector-bearing ops
+// (gradient, gnproduct, fisher_diag) reply with 4·dim+16 bytes, scalar
+// ops (held_loss, accuracy) with exactly 16. Drift on either side makes
+// the master evict healthy workers for "malformed reply".
+func TestReplyLengthAgreement(t *testing.T) {
+	const dim = 7
+	v := make(tensor.Vector, dim)
+	for i := range v {
+		v[i] = float32(i) - 2.5
+	}
+
+	vecReply := append(encodeVec(v), encodeF64Pair(3.25, 11)...)
+	if len(vecReply) != 4*dim+16 {
+		t.Errorf("vector reply = %d bytes, want 4*dim+16 = %d", len(vecReply), 4*dim+16)
+	}
+	if pair := encodeF64Pair(0.5, 2); len(pair) != 16 {
+		t.Errorf("scalar reply = %d bytes, want 16", len(pair))
+	}
+
+	// The master's split of a vector reply must recover both halves.
+	out := make(tensor.Vector, dim)
+	if err := decodeInto(vecReply[:4*dim], out); err != nil {
+		t.Fatalf("decodeInto: %v", err)
+	}
+	for i := range v {
+		if out[i] != v[i] {
+			t.Fatalf("vector half out[%d] = %v, want %v", i, out[i], v[i])
+		}
+	}
+	var pair [2]float64
+	if err := decodeF64Pair(vecReply[4*dim:], &pair); err != nil {
+		t.Fatalf("decodeF64Pair: %v", err)
+	}
+	if pair != [2]float64{3.25, 11} {
+		t.Fatalf("scalar half = %v, want [3.25 11]", pair)
+	}
+}

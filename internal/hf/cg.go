@@ -210,7 +210,9 @@ func cgStep(apply func(v, out tensor.Vector), precond tensor.Vector, x, r, z, p,
 }
 
 // applyPrecond computes z = M⁻¹r for the diagonal preconditioner M
-// (plain copy when unpreconditioned).
+// (plain copy when unpreconditioned). The division loop runs inside the
+// equal-length branch so prove sees len(z) == len(precond) == len(r)
+// and drops every bounds check (the bce gate keeps it that way).
 //
 //lint:hotpath
 func applyPrecond(precond, r, z tensor.Vector) {
@@ -218,10 +220,23 @@ func applyPrecond(precond, r, z tensor.Vector) {
 		copy(z, r)
 		return
 	}
-	for i := range r {
-		//lint:ignore divguard CGMinimize panics on any non-positive preconditioner entry at entry
-		z[i] = r[i] / precond[i]
+	if len(z) == len(r) && len(precond) == len(r) {
+		for i := range r {
+			//lint:ignore divguard CGMinimize panics on any non-positive preconditioner entry at entry
+			z[i] = r[i] / precond[i]
+		}
+		return
 	}
+	precondMismatch()
+}
+
+// precondMismatch is the cold fail-fast for applyPrecond's length
+// guard; hoisting the panic keeps the hot body escape-free (boxing the
+// message escapes to the heap under -m=2).
+//
+//go:noinline
+func precondMismatch() {
+	panic("hf: applyPrecond length mismatch")
 }
 
 // phi evaluates the quadratic model value φ(x) = −½ xᵀ(b + r) where

@@ -1,0 +1,61 @@
+// bce.go is the second compiler-truth gate: bounds-check elimination.
+// It compiles every package declaring a //lint:hotpath function with
+// -gcflags=-d=ssa/check_bce and fails any "Found IsInBounds" /
+// "Found IsSliceInBounds" diagnostic positioned inside a hot-path
+// function body. A packed-GEMM micro-kernel or CG inner step that
+// passes this gate provably executes no per-element bounds branches —
+// the portable analogue of the paper's hand-scheduled QPX inner loops,
+// where a branch in the kernel would stall the dual-issue pipeline.
+//
+// Checks the optimizer genuinely cannot remove (slicing a panel out of
+// a shared buffer at a computed offset, for example) are suppressed in
+// place with `//lint:ignore bce <reason>`; the contract is that every
+// suppression sits on a per-panel or per-call operation, never inside a
+// per-element loop.
+package escape
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// BCEName is the identifier the bounds-check gate reports under and the
+// key for //lint:ignore directives and repolint -only.
+const BCEName = "bce"
+
+// BCEDoc describes the gate for repolint -list.
+const BCEDoc = "compiler-reported bounds check (go build -gcflags=-d=ssa/check_bce) inside a " +
+	"//lint:hotpath function; hot kernels must be bounds-check-free in compiler truth"
+
+// bceSpec is the bounds-check gate's configuration.
+var bceSpec = gateSpec{
+	name:   BCEName,
+	gcflag: "-gcflags=-d=ssa/check_bce",
+	keep: func(msg string) bool {
+		return strings.Contains(msg, "Found IsInBounds") || strings.Contains(msg, "Found IsSliceInBounds")
+	},
+	render: func(msg string, hot *hotRange) string {
+		return fmt.Sprintf("compiler reports %q inside //lint:hotpath %s; "+
+			"hot kernels must be bounds-check-free (hoist the proof the optimizer "+
+			"needs, or //lint:ignore bce with justification)", msg, hot.name)
+	},
+}
+
+// AnalyzeBCE scans the whole module for //lint:hotpath functions and
+// runs the bounds-check gate over the packages declaring them.
+func AnalyzeBCE(root string) ([]lint.Finding, error) {
+	dirs, err := hotDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeBCEDirs(root, dirs)
+}
+
+// AnalyzeBCEDirs runs the bounds-check gate over the given package
+// directories (relative to root); fixture tests use this to reach
+// packages under testdata.
+func AnalyzeBCEDirs(root string, dirs []string) ([]lint.Finding, error) {
+	return analyzeDirs(root, dirs, bceSpec)
+}

@@ -1,0 +1,56 @@
+package escape
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestBCEFixtureGate is the golden-position test for the bounds-check
+// gate: the checked hot function gates at the exact diagnostic
+// positions, the clean one and the cold one stay silent, and
+// //lint:ignore bce suppresses.
+func TestBCEFixtureGate(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := AnalyzeBCEDirs(root, []string{"internal/lint/escape/testdata/bcefix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		if f.Analyzer != BCEName || f.Severity != lint.SevError {
+			t.Errorf("finding metadata = %s/%s, want bce/error", f.Analyzer, f.Severity)
+		}
+		got = append(got, fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col))
+	}
+	want := []string{"internal/lint/escape/testdata/bcefix/bcefix.go:13:11"}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("findings = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBCEModuleGateClean is the tree-level acceptance bar: every
+// //lint:hotpath function in the repo must compile without a surviving
+// bounds check.
+func TestBCEModuleGateClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := AnalyzeBCE(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("hot path not bounds-check-free: %s", f)
+	}
+}

@@ -1,22 +1,24 @@
-// Package escape is the compiler-truth allocation gate for
-// //lint:hotpath functions. Where the heuristic hotpathalloc analyzer
-// pattern-matches source shapes that usually allocate, this package
-// asks the real compiler: it runs `go build -gcflags=-m=2` over every
+// Package escape holds the compiler-truth gates for //lint:hotpath
+// functions. Where the heuristic hotpathalloc analyzer pattern-matches
+// source shapes that usually allocate, these gates ask the real
+// compiler. The escape gate runs `go build -gcflags=-m=2` over every
 // package declaring a hot-path function, parses the escape-analysis
 // diagnostics, and reports ANY compiler-reported heap escape ("escapes
 // to heap" / "moved to heap") positioned inside a hot-path function
 // body. A hot-path kernel with zero reported escapes is genuinely
 // allocation-free for its locals — no heuristic can promise that, and
-// no heuristic exemption can hide a real escape.
+// no heuristic exemption can hide a real escape. The bce gate (bce.go)
+// reuses the same machinery with -gcflags=-d=ssa/check_bce to fail any
+// bounds check the optimizer could not eliminate from a hot kernel.
 //
-// The gate honors the same suppression contract as the analyzers: a
-// `//lint:ignore escape <reason>` comment on the diagnostic's line or
-// the line above silences it. Suppressions should be rare — the whole
-// point of compiler truth is that "looks fine" doesn't override the
-// optimizer.
+// The gates honor the same suppression contract as the analyzers: a
+// `//lint:ignore escape <reason>` (or `//lint:ignore bce <reason>`)
+// comment on the diagnostic's line or the line above silences it.
+// Suppressions should be rare — the whole point of compiler truth is
+// that "looks fine" doesn't override the optimizer.
 //
 // Findings reuse lint.Finding so cmd/repolint renders them uniformly;
-// the analyzer name is "escape" and every finding is an error.
+// every finding is an error.
 package escape
 
 import (
@@ -51,6 +53,30 @@ type hotRange struct {
 	start, end int
 }
 
+// gateSpec parameterizes one compiler-truth gate: the analyzer name it
+// reports under (also the //lint:ignore key), the -gcflags value whose
+// diagnostics it reads, which diagnostic messages belong to it, and how
+// a surviving diagnostic renders as a finding message.
+type gateSpec struct {
+	name   string
+	gcflag string
+	keep   func(msg string) bool
+	render func(msg string, hot *hotRange) string
+}
+
+// escapeSpec is the heap-escape gate's configuration.
+var escapeSpec = gateSpec{
+	name:   Name,
+	gcflag: "-gcflags=-m=2",
+	keep: func(msg string) bool {
+		return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+	},
+	render: func(msg string, hot *hotRange) string {
+		return fmt.Sprintf("compiler reports %q inside //lint:hotpath %s; "+
+			"hot kernels must have zero heap escapes", msg, hot.name)
+	},
+}
+
 // Analyze scans the whole module for //lint:hotpath functions and gates
 // the packages declaring them. A module with no hot-path functions
 // passes trivially (and runs no compiler).
@@ -66,21 +92,27 @@ func Analyze(root string) ([]lint.Finding, error) {
 // Fixture tests use this to reach packages under testdata, which the
 // module walk deliberately skips.
 func AnalyzeDirs(root string, dirs []string) ([]lint.Finding, error) {
+	return analyzeDirs(root, dirs, escapeSpec)
+}
+
+// analyzeDirs is the shared gate driver: collect hot ranges and
+// suppressions, compile for diagnostics, intersect, sort.
+func analyzeDirs(root string, dirs []string, spec gateSpec) ([]lint.Finding, error) {
 	if len(dirs) == 0 {
 		return nil, nil
 	}
-	ranges, ignored, err := scanDirs(root, dirs)
+	ranges, ignored, err := scanDirs(root, dirs, spec.name)
 	if err != nil {
 		return nil, err
 	}
 	if len(ranges) == 0 {
 		return nil, nil
 	}
-	diags, err := compileDiagnostics(root, dirs)
+	diags, err := compileDiagnostics(root, dirs, spec)
 	if err != nil {
 		return nil, err
 	}
-	findings := match(diags, ranges, ignored)
+	findings := match(diags, ranges, ignored, spec)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -152,8 +184,8 @@ func fileHasHotPath(path string) (bool, error) {
 
 // scanDirs parses every non-test file of the given package directories,
 // collecting hot-path function line ranges and the lines covered by
-// //lint:ignore escape directives (keyed by relative file path).
-func scanDirs(root string, dirs []string) ([]hotRange, map[string]map[int]bool, error) {
+// //lint:ignore <gateName> directives (keyed by relative file path).
+func scanDirs(root string, dirs []string, gateName string) ([]hotRange, map[string]map[int]bool, error) {
 	fset := token.NewFileSet()
 	var ranges []hotRange
 	ignored := map[string]map[int]bool{}
@@ -186,7 +218,7 @@ func scanDirs(root string, dirs []string) ([]hotRange, map[string]map[int]bool, 
 					end:   fset.Position(fd.End()).Line,
 				})
 			}
-			for line := range ignoreLines(fset, f) {
+			for line := range ignoreLines(fset, f, gateName) {
 				if ignored[rel] == nil {
 					ignored[rel] = map[int]bool{}
 				}
@@ -212,10 +244,10 @@ func hasHotPathDoc(fd *ast.FuncDecl) bool {
 	return false
 }
 
-// ignoreLines collects the lines suppressed for the escape gate by
-// //lint:ignore escape directives (the directive line and the line
+// ignoreLines collects the lines suppressed for the named gate by
+// //lint:ignore <gateName> directives (the directive line and the line
 // below, matching the analyzers' contract).
-func ignoreLines(fset *token.FileSet, f *ast.File) map[int]bool {
+func ignoreLines(fset *token.FileSet, f *ast.File, gateName string) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -228,7 +260,7 @@ func ignoreLines(fset *token.FileSet, f *ast.File) map[int]bool {
 				continue
 			}
 			for _, name := range strings.Split(fields[0], ",") {
-				if name == Name {
+				if name == gateName {
 					line := fset.Position(c.Pos()).Line
 					lines[line] = true
 					lines[line+1] = true
@@ -251,12 +283,12 @@ type diagnostic struct {
 // dropped.
 var diagRe = regexp.MustCompile(`^([^\s:][^:]*\.go):(\d+):(\d+): (.+)$`)
 
-// compileDiagnostics runs the compiler with -m=2 over the packages and
-// returns the deduplicated heap-escape diagnostics. The Go build cache
-// replays diagnostics on cache hits, so repeated gate runs stay cheap
-// without forcing -a rebuilds.
-func compileDiagnostics(root string, dirs []string) ([]diagnostic, error) {
-	args := []string{"build", "-gcflags=-m=2"}
+// compileDiagnostics runs the compiler with the gate's -gcflags over
+// the packages and returns the deduplicated diagnostics the gate keeps.
+// The Go build cache replays diagnostics on cache hits, so repeated
+// gate runs stay cheap without forcing -a rebuilds.
+func compileDiagnostics(root string, dirs []string, spec gateSpec) ([]diagnostic, error) {
+	args := []string{"build", spec.gcflag}
 	for _, d := range dirs {
 		args = append(args, "./"+d)
 	}
@@ -266,7 +298,7 @@ func compileDiagnostics(root string, dirs []string) ([]diagnostic, error) {
 	if err != nil {
 		// A package that does not compile cannot be gated; surface the
 		// compiler's own message.
-		return nil, fmt.Errorf("escape: go %s: %v\n%s", strings.Join(args, " "), err, out)
+		return nil, fmt.Errorf("%s: go %s: %v\n%s", spec.name, strings.Join(args, " "), err, out)
 	}
 	var diags []diagnostic
 	seen := map[string]bool{}
@@ -276,7 +308,7 @@ func compileDiagnostics(root string, dirs []string) ([]diagnostic, error) {
 			continue
 		}
 		msg := strings.TrimSuffix(strings.TrimSpace(m[4]), ":")
-		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+		if !spec.keep(msg) {
 			continue
 		}
 		ln, _ := strconv.Atoi(m[2])
@@ -296,7 +328,7 @@ func compileDiagnostics(root string, dirs []string) ([]diagnostic, error) {
 
 // match intersects diagnostics with hot-path function ranges, dropping
 // suppressed lines, and renders the survivors as findings.
-func match(diags []diagnostic, ranges []hotRange, ignored map[string]map[int]bool) []lint.Finding {
+func match(diags []diagnostic, ranges []hotRange, ignored map[string]map[int]bool, spec gateSpec) []lint.Finding {
 	var out []lint.Finding
 	for _, d := range diags {
 		var hot *hotRange
@@ -314,13 +346,12 @@ func match(diags []diagnostic, ranges []hotRange, ignored map[string]map[int]boo
 			continue
 		}
 		out = append(out, lint.Finding{
-			Analyzer: Name,
+			Analyzer: spec.name,
 			Severity: lint.SevError,
-			Message: fmt.Sprintf("compiler reports %q inside //lint:hotpath %s; "+
-				"hot kernels must have zero heap escapes", d.msg, hot.name),
-			File: d.file,
-			Line: d.line,
-			Col:  d.col,
+			Message:  spec.render(d.msg, hot),
+			File:     d.file,
+			Line:     d.line,
+			Col:      d.col,
 		})
 	}
 	return out

@@ -1,0 +1,41 @@
+// Package bcefix is the golden fixture for the bce gate: one hot-path
+// function with a bounds check the optimizer cannot eliminate, one
+// genuinely check-free, one with a suppressed check, and one checked
+// function that is not marked hot (and must not gate).
+package bcefix
+
+// HotChecked indexes with a caller-supplied position: the compiler
+// cannot prove i < len(xs), so an IsInBounds survives and the gate must
+// report it.
+//
+//lint:hotpath
+func HotChecked(xs []float64, i int) float64 {
+	return xs[i]
+}
+
+// HotClean indexes only through the range variable: every access is
+// provably in bounds.
+//
+//lint:hotpath
+func HotClean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// HotSuppressed keeps a deliberate data-dependent lookup; the check is
+// acknowledged in place and must not gate.
+//
+//lint:hotpath
+func HotSuppressed(xs []float64, i int) float64 {
+	//lint:ignore bce fixture: the table lookup is data-dependent by design
+	return xs[i%len(xs)]
+}
+
+// ColdChecked indexes freely; without the hotpath directive it is none
+// of the gate's business.
+func ColdChecked(xs []float64, i int) float64 {
+	return xs[i]
+}

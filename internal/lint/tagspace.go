@@ -1,0 +1,226 @@
+package lint
+
+// TagSpace is the module-scoped half of the p2pcheck family: it builds
+// a whole-repo map of every statically-resolvable tag argument passed
+// to the mpi point-to-point surface and checks the global tag plan.
+//
+// The plan (internal/mpi/mpi.go) carves the int tag space into
+// collective blocks at k<<24, user/control tags in the 9000s, the
+// elastic reply block at 16<<24 and the heartbeat block at 17<<24.
+// Three hazards break it:
+//
+//   - collision: two distinct named constants share a value, so two
+//     conversations alias one mailbox and deliver each other's frames;
+//   - block overlap: a base constant used with a dynamic offset (a
+//     per-round or per-distance tag) reserves [base, base+2²⁴);
+//     another dynamic block starting inside that range, or a static
+//     tag landing in it, aliases some future round;
+//   - orphan: a tag sent somewhere in the module but received nowhere
+//     (the frame sits in the transport queue forever, or a receive
+//     deadline evicts a healthy peer), or received but never sent.
+//
+// An AnyTag receive in a package absorbs every send issued from that
+// same package (the async master loop's shape), so those sends are not
+// orphans. Tags that do not resolve statically are skipped: the checks
+// err toward silence on dynamic protocols.
+
+import (
+	"go/types"
+	"sort"
+)
+
+type TagSpace struct{}
+
+func (TagSpace) Name() string { return "tagspace" }
+
+func (TagSpace) Doc() string {
+	return "module-wide p2p tag map: value collisions between named tag constants, overlapping dynamic tag blocks, and tags sent with no matching receive (or received with no sender)"
+}
+
+// tagUse is one resolved, reportable tag occurrence.
+type tagUse struct {
+	p  *Package
+	ev p2pEvent
+}
+
+// tsEntry aggregates everything known about one tag value.
+type tsEntry struct {
+	val      int
+	bases    []*types.Const // distinct named bases, in first-seen order
+	uses     []tagUse       // reporting occurrences (one per resolution site)
+	sends    int
+	recvs    int
+	hasDyn   bool
+	sendPkgs map[*Package]bool
+}
+
+func (e *tsEntry) addBase(c *types.Const) {
+	for _, b := range e.bases {
+		if b == c {
+			return
+		}
+	}
+	e.bases = append(e.bases, c)
+}
+
+func (e *tsEntry) firstUse(match func(tagUse) bool) (tagUse, bool) {
+	for _, u := range e.uses {
+		if match(u) {
+			return u, true
+		}
+	}
+	return tagUse{}, false
+}
+
+func (a TagSpace) RunModule(pkgs []*Package) []Finding {
+	entries := map[int]*tsEntry{}
+	anyTagRecv := map[*Package]bool{}
+
+	for _, p := range pkgs {
+		z := newP2PPass(p)
+		for _, fd := range z.orderedDecls() {
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, ev := range z.summarize(fn).events {
+				if ev.opaque || !ev.tag.known {
+					continue
+				}
+				if ev.tag.anyTag {
+					if ev.dir == dirRecv {
+						anyTagRecv[p] = true
+					}
+					continue
+				}
+				e := entries[ev.tag.val]
+				if e == nil {
+					e = &tsEntry{val: ev.tag.val, sendPkgs: map[*Package]bool{}}
+					entries[ev.tag.val] = e
+				}
+				if ev.tag.base != nil {
+					e.addBase(ev.tag.base)
+				}
+				if ev.tag.offset {
+					e.hasDyn = true
+				}
+				if ev.dir == dirSend {
+					e.sends++
+					e.sendPkgs[p] = true
+				} else {
+					e.recvs++
+				}
+				if ev.report {
+					e.uses = append(e.uses, tagUse{p, ev})
+				}
+			}
+		}
+	}
+
+	// Deterministic order: entries by value, uses by position (all
+	// packages share one FileSet).
+	vals := make([]int, 0, len(entries))
+	for v, e := range entries {
+		vals = append(vals, v)
+		sort.SliceStable(e.uses, func(i, j int) bool {
+			return e.uses[i].ev.node.Pos() < e.uses[j].ev.node.Pos()
+		})
+	}
+	sort.Ints(vals)
+
+	var out []Finding
+
+	// Collisions: one value, several named constants.
+	for _, v := range vals {
+		e := entries[v]
+		if len(e.bases) < 2 {
+			continue
+		}
+		bases := append([]*types.Const(nil), e.bases...)
+		sort.SliceStable(bases, func(i, j int) bool { return bases[i].Pos() < bases[j].Pos() })
+		canon := bases[0]
+		for _, u := range e.uses {
+			if u.ev.tag.base == nil || u.ev.tag.base == canon {
+				continue
+			}
+			out = append(out, u.p.finding(a, SevError, u.ev.node,
+				"tag %s collides with %s (declared at %s): two protocol conversations share one mailbox",
+				u.ev.tag.render(), canon.Name(), sitePos(u.p, canon.Pos())))
+		}
+	}
+
+	// Block overlaps: each dynamic base reserves [val, val+2^24).
+	var dynVals []int
+	for _, v := range vals {
+		if entries[v].hasDyn {
+			dynVals = append(dynVals, v)
+		}
+	}
+	for i, v1 := range dynVals {
+		for _, v2 := range dynVals[i+1:] {
+			if v2 >= v1+tagBlockWidth {
+				break
+			}
+			e2 := entries[v2]
+			if u, ok := e2.firstUse(func(u tagUse) bool { return u.ev.tag.offset }); ok {
+				e1 := entries[v1]
+				out = append(out, u.p.finding(a, SevError, u.ev.node,
+					"dynamic tag block %s [%d,%d) overlaps block %s [%d,%d): offsets of one conversation alias the other",
+					u.ev.tag.render(), v2, v2+tagBlockWidth, baseName(e1, v1), v1, v1+tagBlockWidth))
+			}
+		}
+	}
+	for _, v := range dynVals {
+		for _, s := range vals {
+			if s <= v || s >= v+tagBlockWidth {
+				continue
+			}
+			es := entries[s]
+			if es.hasDyn {
+				continue // already reported as a block overlap
+			}
+			if u, ok := es.firstUse(func(u tagUse) bool { return !u.ev.tag.offset }); ok {
+				out = append(out, u.p.finding(a, SevError, u.ev.node,
+					"static tag %s falls inside dynamic block %s [%d,%d): offset %d of that conversation aliases it",
+					u.ev.tag.render(), baseName(entries[v], v), v, v+tagBlockWidth, s-v))
+			}
+		}
+	}
+
+	// Orphans: traffic with no counterpart anywhere in the module.
+	for _, v := range vals {
+		e := entries[v]
+		switch {
+		case e.sends > 0 && e.recvs == 0:
+			wild := false
+			for p := range e.sendPkgs {
+				if anyTagRecv[p] {
+					wild = true
+					break
+				}
+			}
+			if wild {
+				break
+			}
+			if u, ok := e.firstUse(func(u tagUse) bool { return u.ev.dir == dirSend }); ok {
+				out = append(out, u.p.finding(a, SevError, u.ev.node,
+					"tag %s is sent here but received nowhere in the module", u.ev.tag.render()))
+			}
+		case e.recvs > 0 && e.sends == 0:
+			if u, ok := e.firstUse(func(u tagUse) bool { return u.ev.dir == dirRecv }); ok {
+				out = append(out, u.p.finding(a, SevError, u.ev.node,
+					"tag %s is received here but sent nowhere in the module", u.ev.tag.render()))
+			}
+		}
+	}
+
+	return out
+}
+
+// baseName renders an entry's first named base, or its raw value.
+func baseName(e *tsEntry, v int) string {
+	if len(e.bases) > 0 {
+		return e.bases[0].Name()
+	}
+	return tagForm{known: true, val: v}.render()
+}

@@ -1,0 +1,71 @@
+// clean_p2p.go exercises the point-to-point shapes the p2pcheck family
+// inspects, in their sanctioned forms: a command/ack conversation with
+// matching reply lengths, a complete dispatch switch, a complete name
+// table, and send-before-receive ordering on both roles.
+package clean
+
+import (
+	"time"
+
+	"repro/internal/mpi"
+)
+
+const (
+	cmdTag = 8100
+	ackTag = 8101
+)
+
+const (
+	pOne float32 = 1 + iota
+	pTwo
+)
+
+// cleanP2PMaster issues both opcodes and reads fixed-size acks under a
+// deadline.
+func cleanP2PMaster(c *mpi.Comm) error {
+	for _, op := range []float32{pOne, pTwo} {
+		if err := c.SendBytes(1, cmdTag, []byte{byte(op)}); err != nil {
+			return err
+		}
+		msg, err := c.RecvBytesTimeout(1, ackTag, time.Second)
+		if err != nil {
+			return err
+		}
+		if len(msg.Data) != 8 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// cleanP2PWorker dispatches on the opcode byte and acks every command
+// with the length the master checks for.
+func cleanP2PWorker(c *mpi.Comm) error {
+	for {
+		msg, err := c.RecvBytes(0, cmdTag)
+		if err != nil {
+			return err
+		}
+		switch float32(msg.Data[0]) {
+		case pOne:
+			if err := c.SendBytes(0, ackTag, make([]byte, 8)); err != nil {
+				return err
+			}
+		case pTwo:
+			if err := c.SendBytes(0, ackTag, make([]byte, 8)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pName covers every dispatched opcode.
+func pName(op float32) string {
+	switch op {
+	case pOne:
+		return "one"
+	case pTwo:
+		return "two"
+	}
+	return "?"
+}

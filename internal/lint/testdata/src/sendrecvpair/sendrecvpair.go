@@ -1,0 +1,59 @@
+// Package sendrecvpair seeds the pairing hazards: a blocking receive
+// on a tag nothing in the package sends, and the recv-before-send
+// deadlock cross between two straight-line role functions.
+package sendrecvpair
+
+import "repro/internal/mpi"
+
+const (
+	tagWork  = 4100
+	tagAck   = 4101
+	tagPing  = 4200
+	tagPong  = 4201
+	tagGhost = 4300 // received below, sent nowhere
+)
+
+// masterOK and workerOK pair correctly: each side sends before the
+// other's blocking receive runs.
+func masterOK(c *mpi.Comm) error {
+	if err := c.SendBytes(1, tagWork, []byte{1}); err != nil {
+		return err
+	}
+	_, err := c.RecvBytes(1, tagAck)
+	return err
+}
+
+func workerOK(c *mpi.Comm) error {
+	msg, err := c.RecvBytes(0, tagWork)
+	if err != nil {
+		return err
+	}
+	return c.SendBytes(0, tagAck, msg.Data)
+}
+
+// ghost blocks receiving a tag with no sender in the package.
+func ghost(c *mpi.Comm) ([]byte, error) {
+	msg, err := c.RecvBytes(0, tagGhost)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// masterCross and workerCross both receive first: each waits for a
+// message the other sends only after its own receive completes.
+func masterCross(c *mpi.Comm) error {
+	msg, err := c.RecvBytes(1, tagPong)
+	if err != nil {
+		return err
+	}
+	return c.SendBytes(1, tagPing, msg.Data)
+}
+
+func workerCross(c *mpi.Comm) error {
+	msg, err := c.RecvBytes(0, tagPing)
+	if err != nil {
+		return err
+	}
+	return c.SendBytes(0, tagPong, msg.Data)
+}

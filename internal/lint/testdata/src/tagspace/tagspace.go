@@ -1,0 +1,85 @@
+// Package tagspace seeds the module-wide tag-plan hazards: a value
+// collision between two named tag constants, a dynamic block starting
+// inside another, a static tag landing inside a dynamic block, and
+// orphan traffic in both directions. It also exercises dynamic-tag
+// resolution through a wrapper's tag parameter.
+package tagspace
+
+import (
+	"time"
+
+	"repro/internal/mpi"
+)
+
+const (
+	tagAlpha = 5000 // the canonical command tag
+	tagBeta  = 5000 // collides with tagAlpha
+	tagSent  = 6100 // sent below, received nowhere
+	tagHeard = 6200 // received below, sent nowhere
+	tagQuiet = 6300 // sent below, suppressed in place
+)
+
+// Dynamic bases: a tag used with a per-round offset reserves the block
+// [base, base+1<<24).
+const (
+	tagBlockA = 1 << 20
+	tagBlockB = 1<<20 + 16384 // starts inside tagBlockA's block
+	tagInside = 1<<20 + 100   // static tag inside tagBlockA's block
+)
+
+// alpha pairs a send with a deadline-bounded receive on tagAlpha.
+func alpha(c *mpi.Comm) error {
+	if err := c.SendBytes(1, tagAlpha, nil); err != nil {
+		return err
+	}
+	_, err := c.RecvBytesTimeout(1, tagAlpha, time.Second)
+	return err
+}
+
+// beta reuses the same value under a different name.
+func beta(c *mpi.Comm) error {
+	return c.SendBytes(1, tagBeta, nil)
+}
+
+// rounds exercises per-round dynamic tags; the first send goes through
+// a wrapper, so the tag expression must resolve at this call site.
+func rounds(c *mpi.Comm, round int) error {
+	if err := sendRound(c, tagBlockA+round, []byte{1}); err != nil {
+		return err
+	}
+	if _, err := c.RecvBytesTimeout(1, tagBlockA+round, time.Second); err != nil {
+		return err
+	}
+	if err := c.SendBytes(1, tagBlockB+round, nil); err != nil {
+		return err
+	}
+	if _, err := c.RecvBytesTimeout(1, tagBlockB+round, time.Second); err != nil {
+		return err
+	}
+	if err := c.SendBytes(1, tagInside, nil); err != nil {
+		return err
+	}
+	_, err := c.RecvBytesTimeout(1, tagInside, time.Second)
+	return err
+}
+
+// sendRound forwards its tag parameter.
+func sendRound(c *mpi.Comm, tag int, data []byte) error {
+	return c.SendBytes(1, tag, data)
+}
+
+// orphans issues a send nobody receives and a receive nobody feeds.
+func orphans(c *mpi.Comm) error {
+	if err := c.SendBytes(1, tagSent, nil); err != nil {
+		return err
+	}
+	_, err := c.RecvBytesTimeout(1, tagHeard, time.Second)
+	return err
+}
+
+// quiet documents a sanctioned one-way tag: the receiving half lives
+// outside this module.
+func quiet(c *mpi.Comm) error {
+	//lint:ignore tagspace the collector half of this tag lives outside the module
+	return c.SendBytes(1, tagQuiet, nil)
+}

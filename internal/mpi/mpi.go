@@ -68,10 +68,11 @@ const (
 )
 
 // Reserved tags for the telemetry plane (internal/obs/telemetry). They
-// live in the user tag space, just above the trainer's shard tags
-// (9000-9105) and below the elastic command tag (9500 — see
-// internal/core), so telemetry traffic never collides with training
-// traffic or the collective tag blocks above.
+// live in the user tag space, above the trainer's shard and async tags
+// (9000-9105) and the elastic command tag (9500 — see internal/core),
+// so telemetry traffic never collides with training traffic or the
+// collective tag blocks above. The static tag plan is pinned by
+// TestReservedTagPlan in tags_test.go.
 const (
 	// TagClockSync carries the master↔worker RTT ping/pong rounds that
 	// estimate each worker's clock offset at session start.
