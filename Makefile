@@ -1,16 +1,18 @@
-.PHONY: verify lint commcheck numcheck p2pcheck faultcheck obscheck alloccheck determinism race race-mpi test bench bench_obs bench_fault bench_alloc
+.PHONY: verify lint commcheck numcheck p2pcheck shapecheck faultcheck obscheck alloccheck determinism race race-mpi test bench bench_obs bench_fault bench_alloc
 
 # Full gate: compile, vet, the repo-specific static analyzers (including
 # the collective-protocol checker, the point-to-point protocol family —
-# tag space, opcode state machine, send/recv pairing — and the
-# determinism/numerical-safety quartet), the complete test suite under
-# the race detector, the same suites re-run with runtime protocol
-# conformance checking on every collective (-tags commcheck), the
-# invariant-checked build of the numeric core, the compiler-truth
-# allocation and bounds-check gates on the hot paths, and the
-# bit-reproducible replay gate on both fabrics.
+# tag space, opcode state machine, send/recv pairing — the
+# determinism/numerical-safety quartet, and the interprocedural shape
+# verifier; `go run ./cmd/repolint -list` documents the full set), the
+# complete test suite under the race detector, the same suites re-run
+# with runtime protocol conformance checking on every collective
+# (-tags commcheck), the invariant-checked build of the numeric core
+# (which also arms the check.Dims/check.Layout guards the shape analyzer
+# leans on), the compiler-truth allocation and bounds-check gates on the
+# hot paths, and the bit-reproducible replay gate on both fabrics.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/hf ./internal/core && $(MAKE) p2pcheck && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) alloccheck && $(MAKE) determinism
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/blas ./internal/nn ./internal/hf ./internal/core && $(MAKE) shapecheck && $(MAKE) p2pcheck && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) alloccheck && $(MAKE) determinism
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
@@ -41,6 +43,16 @@ numcheck:
 # no counterpart send). See DESIGN.md, "P2P protocol verification".
 p2pcheck:
 	go run ./cmd/repolint -only tagspace,opproto,sendrecvpair
+
+# Interprocedural shape & buffer-layout verification only: symbolic
+# dimensions propagated through the nn → blas → hf call graph against
+# //lint:shape contracts (provable operand mismatches are errors, calls
+# that are neither provable nor guarded by check.Dims/check.Layout or a
+# callee panic are warnings) plus flat-buffer partition checking
+# (sub-slice gap, overlap, and short-coverage). See DESIGN.md, "Shape &
+# layout verification".
+shapecheck:
+	go run ./cmd/repolint -only shape
 
 # Fault-tolerance gate: the deprecated-API analyzer (no caller may bypass
 # the Session front door) plus the elastic runtime's fault suite — worker

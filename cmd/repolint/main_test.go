@@ -105,6 +105,36 @@ func TestSelectAnalyzers(t *testing.T) {
 	if err != nil || len(sel.analyzers) != 1 || sel.analyzers[0].Name() != "hotpathalloc" || !sel.runEscape || sel.runBCE {
 		t.Fatalf("selectAnalyzers(escape,hotpathalloc) = %+v, err %v", sel, err)
 	}
+	// shape is a module analyzer (the `make shapecheck` invocation).
+	sel, err = selectAnalyzers("shape")
+	if err != nil || len(sel.analyzers) != 0 || len(sel.mods) != 1 ||
+		sel.mods[0].Name() != "shape" || sel.runEscape || sel.runBCE {
+		t.Fatalf("selectAnalyzers(shape) = %+v, err %v", sel, err)
+	}
+}
+
+// TestListSnapshot locks the -list catalog against a golden file: the
+// full analyzer name set in suite order with one-line docs. Adding or
+// renaming an analyzer must update testdata/list.golden (regenerate with
+// `go test -update`) so the documented -only surface stays reviewed.
+func TestListSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	writeList(&buf)
+
+	golden := filepath.Join("testdata", "list.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-list output drifted from the golden snapshot (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
 }
 
 // TestSARIFSnapshot locks the -sarif output shape against a golden

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/check"
 	"repro/internal/tensor"
 )
 
@@ -87,11 +88,21 @@ func (c Config) filled() Config {
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C with the default
 // configuration. op(A) must be M×K, op(B) K×N, and C M×N.
+//
+//lint:shape a=(m,k) b=(k,n) c=(m,n) tA:swap=a tB:swap=b
 func Gemm(tA, tB Transpose, alpha float32, a, b *tensor.Matrix, beta float32, c *tensor.Matrix) {
+	if check.Enabled {
+		m, k := opDims(a, tA)
+		k2, n := opDims(b, tB)
+		check.Dims("blas.Gemm.inner", k2, k)
+		check.Layout("blas.Gemm.c", c.Rows, c.Cols, m, n)
+	}
 	GemmWith(Config{}, tA, tB, alpha, a, b, beta, c)
 }
 
 // GemmWith is Gemm with explicit tuning parameters.
+//
+//lint:shape a=(m,k) b=(k,n) c=(m,n) tA:swap=a tB:swap=b
 func GemmWith(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matrix, beta float32, c *tensor.Matrix) {
 	m, k := opDims(a, tA)
 	k2, n := opDims(b, tB)

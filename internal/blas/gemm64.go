@@ -2,6 +2,8 @@ package blas
 
 import (
 	"fmt"
+
+	"repro/internal/check"
 )
 
 // Double-precision GEMM. The paper notes (§II-B) that conventional HPC
@@ -41,7 +43,15 @@ const (
 )
 
 // Gemm64 computes C = alpha·op(A)·op(B) + beta·C in double precision.
+//
+//lint:shape a=(m,k) b=(k,n) c=(m,n) tA:swap=a tB:swap=b
 func Gemm64(tA, tB Transpose, alpha float64, a, b *Matrix64, beta float64, c *Matrix64) {
+	if check.Enabled {
+		em, ek := opDims64(a, tA)
+		ek2, en := opDims64(b, tB)
+		check.Dims("blas.Gemm64.inner", ek2, ek)
+		check.Layout("blas.Gemm64.c", c.Rows, c.Cols, em, en)
+	}
 	m, k := opDims64(a, tA)
 	k2, n := opDims64(b, tB)
 	if k != k2 {
@@ -96,10 +106,21 @@ func Gemm64(tA, tB Transpose, alpha float64, a, b *Matrix64, beta float64, c *Ma
 }
 
 // Gemm64Naive is the unblocked reference used by tests and the DGEMM
-// baseline benchmark.
+// baseline benchmark. It guards like Gemm64: the un-checked variant
+// read b out of shape (or c out of bounds) whenever the inner or output
+// dims disagreed, exactly the silent-wrong-answer class the shape
+// analyzer exists to catch.
+//
+//lint:shape a=(m,k) b=(k,n) c=(m,n) tA:swap=a tB:swap=b
 func Gemm64Naive(tA, tB Transpose, alpha float64, a, b *Matrix64, beta float64, c *Matrix64) {
 	m, k := opDims64(a, tA)
-	_, n := opDims64(b, tB)
+	k2, n := opDims64(b, tB)
+	if k != k2 {
+		panic(fmt.Sprintf("blas: Gemm64Naive inner dimensions %d vs %d", k, k2))
+	}
+	if c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("blas: Gemm64Naive output %d×%d, want %d×%d", c.Rows, c.Cols, m, n))
+	}
 	at := func(i, p int) float64 {
 		if tA == Trans {
 			return a.Data[p*a.Stride+i]

@@ -162,3 +162,25 @@ func BenchmarkDGEMMNaive256(b *testing.B) {
 	flops := 2.0 * 256 * 256 * 256
 	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 }
+
+// Gemm64Naive used to trust its callers: with mismatched inner or output
+// dimensions it silently read b (or wrote c) out of shape instead of
+// panicking like Gemm64. These pin the guards added with the shape
+// analyzer.
+func TestGemm64NaiveInnerDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	Gemm64Naive(NoTrans, NoTrans, 1, NewMatrix64(2, 3), NewMatrix64(4, 5), 0, NewMatrix64(2, 5))
+}
+
+func TestGemm64NaiveOutputShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on output-shape mismatch")
+		}
+	}()
+	Gemm64Naive(NoTrans, NoTrans, 1, NewMatrix64(2, 3), NewMatrix64(3, 5), 0, NewMatrix64(3, 5))
+}

@@ -3,6 +3,8 @@ package blas
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/check"
 )
 
 // Level-1 routines operate on raw float32 slices. They back the vector
@@ -26,8 +28,12 @@ func lenMismatch(op string, nx, ny int) {
 // the hot path and drops the y[i] bounds check; the bce gate locks the
 // kernels check-free.
 //
+//lint:shape x=n y=n
 //lint:hotpath
 func Axpy(alpha float32, x, y []float32) {
+	if check.Enabled {
+		check.Dims("blas.Axpy.y", len(y), len(x))
+	}
 	if len(x) == len(y) {
 		for i, v := range x {
 			y[i] += alpha * v
@@ -40,8 +46,12 @@ func Axpy(alpha float32, x, y []float32) {
 // Dot returns xᵀy accumulated in float64; CG's α and β recurrences are
 // sensitive to the accuracy of these reductions.
 //
+//lint:shape x=n y=n
 //lint:hotpath
 func Dot(x, y []float32) float64 {
+	if check.Enabled {
+		check.Dims("blas.Dot.y", len(y), len(x))
+	}
 	if len(x) == len(y) {
 		var s float64
 		for i, v := range x {
@@ -75,7 +85,12 @@ func Asum(x []float32) float64 {
 }
 
 // Copy copies x into y.
+//
+//lint:shape x=n y=n
 func Copy(x, y []float32) {
+	if check.Enabled {
+		check.Dims("blas.Copy.y", len(y), len(x))
+	}
 	if len(x) != len(y) {
 		lenMismatch("Copy", len(x), len(y))
 	}
@@ -85,8 +100,12 @@ func Copy(x, y []float32) {
 // Axpby computes y = alpha*x + beta*y, the fused update used by the CG
 // direction recurrence p = r + beta*p.
 //
+//lint:shape x=n y=n
 //lint:hotpath
 func Axpby(alpha float32, x []float32, beta float32, y []float32) {
+	if check.Enabled {
+		check.Dims("blas.Axpby.y", len(y), len(x))
+	}
 	if len(x) == len(y) {
 		for i, v := range x {
 			y[i] = alpha*v + beta*y[i]

@@ -15,3 +15,6 @@ func FiniteScalar(name string, v float64) {}
 
 // Dims is a no-op in this build; see the checkinvariants tag.
 func Dims(name string, got, want int) {}
+
+// Layout is a no-op in this build; see the checkinvariants tag.
+func Layout(name string, rows, cols, wantRows, wantCols int) {}

@@ -17,4 +17,5 @@ func TestDisabledIsNoop(t *testing.T) {
 	Finite("noop", []float32{float32(math.NaN())})
 	FiniteScalar("noop", math.Inf(1))
 	Dims("noop", 3, 7)
+	Layout("noop", 2, 3, 4, 5)
 }

@@ -30,3 +30,12 @@ func Dims(name string, got, want int) {
 		panic(fmt.Sprintf("check: %s has %d elements, want %d", name, got, want))
 	}
 }
+
+// Layout panics when a matrix's dimensions differ from the expected
+// shape — the two-dimensional sibling of Dims, mirroring the static
+// //lint:shape contracts at run time.
+func Layout(name string, rows, cols, wantRows, wantCols int) {
+	if rows != wantRows || cols != wantCols {
+		panic(fmt.Sprintf("check: %s is %d×%d, want %d×%d", name, rows, cols, wantRows, wantCols))
+	}
+}

@@ -87,6 +87,8 @@ func (r CGResult) FinalQ() float64 { return r.QValues[len(r.QValues)-1] }
 // Algorithm 1); it is not modified. Iteration stops by the Martens
 // relative-progress rule or at MaxIters, and intermediate iterates are
 // saved at geometrically spaced indices for the outer loop's backtracking.
+//
+//lint:shape g=n d0=n
 func CGMinimize(apply func(v, out tensor.Vector), g tensor.Vector, d0 tensor.Vector, opts CGOpts) CGResult {
 	opts = opts.filled()
 	n := len(g)
@@ -183,6 +185,7 @@ func CGMinimize(apply func(v, out tensor.Vector), g tensor.Vector, d0 tensor.Vec
 // two collectives per CG iteration of the paper's Figure 5, so it must
 // stay free of formatting, clock reads and boxing.
 //
+//lint:shape x=n r=n z=n p=n ap=n
 //lint:hotpath
 func cgStep(apply func(v, out tensor.Vector), precond tensor.Vector, x, r, z, p, ap tensor.Vector, rz float64) (rzNew float64, ok bool) {
 	if rz <= 0 {
@@ -214,6 +217,7 @@ func cgStep(apply func(v, out tensor.Vector), precond tensor.Vector, x, r, z, p,
 // equal-length branch so prove sees len(z) == len(precond) == len(r)
 // and drops every bounds check (the bce gate keeps it that way).
 //
+//lint:shape r=n z=n
 //lint:hotpath
 func applyPrecond(precond, r, z tensor.Vector) {
 	if precond == nil {

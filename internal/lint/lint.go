@@ -118,6 +118,7 @@ type ModuleAnalyzer interface {
 // ModuleAnalyzers returns the module-scoped suite in stable order.
 func ModuleAnalyzers() []ModuleAnalyzer {
 	return []ModuleAnalyzer{
+		Shape{},
 		TagSpace{},
 	}
 }

@@ -30,6 +30,7 @@ var fixtureDirs = []string{
 	"opproto",
 	"sendrecvpair",
 	"tagspace",
+	"shape",
 	"clean",
 }
 
@@ -174,11 +175,13 @@ func TestFixtureFindings(t *testing.T) {
 			"46:14 sendrecvpair error", // masterCross side of the recv-before-send deadlock
 			"54:14 sendrecvpair error", // workerCross side of the recv-before-send deadlock
 		},
-		"tagspace.go":   nil, // module-scoped: asserted in TestTagSpaceFixture
-		"clean.go":      nil,
-		"clean_comm.go": nil,
-		"clean_num.go":  nil,
-		"clean_p2p.go":  nil,
+		"tagspace.go":    nil, // module-scoped: asserted in TestTagSpaceFixture
+		"shape.go":       nil, // module-scoped: asserted in TestShapeFixture
+		"clean.go":       nil,
+		"clean_comm.go":  nil,
+		"clean_num.go":   nil,
+		"clean_p2p.go":   nil,
+		"clean_shape.go": nil,
 	}
 
 	got := map[string][]string{}

@@ -1,0 +1,246 @@
+package lint
+
+// Shape is the interprocedural shape & buffer-layout verifier for the
+// numeric core. Training-stack state moves as raw []float32 and
+// tensor.Matrix buffers whose dimensional consistency the type system
+// cannot see; the single most common failure class in a GEMM-shaped
+// trainer is a shape or offset mismatch that silently reads the wrong
+// parameters. Public numeric APIs declare lightweight contracts
+// (//lint:shape, parsed in shapecontract.go) and the analyzer
+// propagates symbolic dimensions (shapedim.go) through every function
+// body in the module, reporting three hazard classes:
+//
+//  1. dim-mismatch: a call site whose operand dimensions provably
+//     disagree with the callee's contract — provably means the
+//     symbolic parts cancel and a nonzero constant remains, a
+//     disagreement no execution can reconcile;
+//  2. unguarded-unprovable: a call site whose dimensions cannot be
+//     proven, where neither a dominating caller-side guard
+//     (check.Dims/check.Layout or a panic/return-backed length guard)
+//     nor a runtime guard in the callee body covers the call — the
+//     contract is enforced nowhere;
+//  3. partition gap/overlap: sub-slices p[off:off+w] of one flat
+//     buffer taken against a running offset whose advances provably
+//     disagree with the widths sliced (overlapping or skipping
+//     elements), or whose straight-line total provably misses the
+//     buffer's length.
+//
+// The abstract interpretation is deliberately conservative: branch
+// environments are joined (facts that disagree across arms are
+// dropped), loops are walked once, and every fact that cannot be
+// established decays to ⊤. Mismatch and partition findings therefore
+// only fire on disagreements that hold on every execution.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shape is the module-scoped shape/layout analyzer ("shape" in
+// //lint:ignore directives and -only selections).
+type Shape struct{}
+
+func (Shape) Name() string { return "shape" }
+
+func (Shape) Doc() string {
+	return "interprocedural shape verification: symbolic dims propagated against //lint:shape contracts (provable operand mismatches, unprovable-and-unguarded calls) and flat-buffer partition gap/overlap checks"
+}
+
+// contractInfo pairs a parsed contract with its declaration.
+type contractInfo struct {
+	c    *shapeContract
+	p    *Package
+	decl *ast.FuncDecl
+	fn   *types.Func
+}
+
+// shapeCtx is the module-wide analysis state.
+type shapeCtx struct {
+	a         Shape
+	contracts map[*types.Func]*contractInfo
+	panicFns  map[*types.Func]bool // functions whose bodies contain a direct panic
+	findings  []Finding
+}
+
+func (a Shape) RunModule(pkgs []*Package) []Finding {
+	ctx := &shapeCtx{
+		a:         a,
+		contracts: map[*types.Func]*contractInfo{},
+		panicFns:  map[*types.Func]bool{},
+	}
+	// Pass 1: collect contracts and direct panickers module-wide.
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				if fd.Body != nil && bodyPanicsDirectly(fd.Body) {
+					ctx.panicFns[fn] = true
+				}
+				text, ok := shapeAnnotation(fd)
+				if !ok {
+					continue
+				}
+				c, err := parseShapeContract(text)
+				if err != nil {
+					ctx.findings = append(ctx.findings, p.finding(a, SevError, fd.Name,
+						"malformed //lint:shape contract: %v", err))
+					continue
+				}
+				if bad := c.validateNames(fd); bad != "" {
+					ctx.findings = append(ctx.findings, p.finding(a, SevError, fd.Name,
+						"//lint:shape contract names %q, which is not a parameter of %s", bad, fd.Name.Name))
+					continue
+				}
+				ctx.contracts[fn] = &contractInfo{c: c, p: p, decl: fd, fn: fn}
+			}
+		}
+	}
+	// Pass 2: decide runtime enforcement per contract. A contract whose
+	// body carries a dimension guard discharges unprovable call sites —
+	// the check the analyzer cannot complete statically happens at run
+	// time instead (this is how the check.Dims guards of satellite
+	// hardening become proof).
+	for _, ci := range ctx.contracts {
+		ci.c.enforced = ctx.bodyEnforces(ci.p, ci.decl)
+	}
+	// Pass 3: interpret every function body.
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				in := newShapeInterp(ctx, p, fd)
+				in.walkStmt(fd.Body)
+				in.finishPartitions()
+			}
+		}
+	}
+	return ctx.findings
+}
+
+// shapeAnnotation extracts the //lint:shape directive text from a
+// declaration's doc comment.
+func shapeAnnotation(fd *ast.FuncDecl) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		text := strimPrefixSpace(c.Text)
+		if rest, ok := cutPrefix(text, shapeDirective); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+func strimPrefixSpace(comment string) string {
+	s := comment
+	if len(s) >= 2 && s[0] == '/' && s[1] == '/' {
+		s = s[2:]
+	}
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	return s
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// validateNames checks every contracted operand and swap flag against
+// the declaration's parameter (and receiver) names, returning the
+// first unknown name.
+func (c *shapeContract) validateNames(fd *ast.FuncDecl) string {
+	names := map[string]bool{}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		names[fd.Recv.List[0].Names[0].Name] = true
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, n := range f.Names {
+			names[n.Name] = true
+		}
+	}
+	for _, s := range c.slots {
+		if !names[s.name] {
+			return s.name
+		}
+	}
+	for flag, op := range c.swaps {
+		if !names[flag] {
+			return flag
+		}
+		if op != "return" && !names[op] {
+			return op
+		}
+	}
+	return ""
+}
+
+// bodyPanicsDirectly reports whether a body contains a direct call to
+// the panic builtin.
+func bodyPanicsDirectly(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyEnforces reports whether a contracted function's body carries a
+// runtime dimension guard: a check.Dims/check.Layout call, a direct
+// panic, or a call to a same-package function that panics directly
+// (the cold fail-fast helper idiom, e.g. blas.lenMismatch).
+func (ctx *shapeCtx) bodyEnforces(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	enforced := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !enforced
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			enforced = true
+			return false
+		}
+		if isCheckDimsCall(p, call) {
+			enforced = true
+			return false
+		}
+		if fn := p.calleeFunc(call); fn != nil && fn.Pkg() == p.Types && ctx.panicFns[fn] {
+			enforced = true
+			return false
+		}
+		return true
+	})
+	return enforced
+}
+
+// isCheckDimsCall reports whether call invokes check.Dims or
+// check.Layout (the runtime mirrors of the static contracts).
+func isCheckDimsCall(p *Package, call *ast.CallExpr) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "check" {
+		return false
+	}
+	return fn.Name() == "Dims" || fn.Name() == "Layout"
+}

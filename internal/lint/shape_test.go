@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShapeFixture runs the module-scoped shape analyzer over its
+// seeded-bad fixture plus the clean package (whose sanctioned contract
+// calls and exact partition must stay silent) and asserts golden
+// positions.
+func TestShapeFixture(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{
+		filepath.Join(root, "internal/lint/testdata/src/shape"),
+		filepath.Join(root, "internal/lint/testdata/src/clean"),
+	}
+	res, err := RunDirsFull(root, dirs, nil, []ModuleAnalyzer{Shape{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"59:2 shape error",  // mismatchDims: b rows 5 vs k=4
+		"68:2 shape error",  // mismatchTranspose: b rows 4 vs k=3 under tA=true
+		"74:2 shape warn",   // unprovable: opaque lengths, no guard anywhere
+		"94:2 shape error",  // partitionOverlap: advance 8 after 12-wide slice
+		"107:2 shape error", // partitionGap: advance 13 after 12-wide slice
+		"122:2 shape error", // partitionShort: covers 32 of 40 elements
+		"129:6 shape error", // BadContract: unparseable annotation
+		"136:6 shape error", // BadOperand: names a non-parameter
+	}
+	var got []string
+	for _, f := range res.Findings {
+		if filepath.Base(f.File) != "shape.go" {
+			t.Errorf("finding outside shape.go: %s", f)
+			continue
+		}
+		got = append(got, fmt.Sprintf("%d:%d %s %s", f.Line, f.Col, f.Analyzer, f.Severity))
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("shape findings:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestSdimAlgebra pins the normal-form arithmetic the shape analyzer
+// unifies with: canonical products, cancellation, and the three-valued
+// comparison.
+func TestSdimAlgebra(t *testing.T) {
+	m := sdimTerm("m#1", "m")
+	k := sdimTerm("k#2", "k")
+
+	if rel := m.mul(k).compare(k.mul(m)); rel != dimEqual {
+		t.Errorf("m*k vs k*m = %v, want dimEqual", rel)
+	}
+	if rel := m.add(sdimConst(4)).compare(m); rel != dimDiffers {
+		t.Errorf("m+4 vs m = %v, want dimDiffers", rel)
+	}
+	if rel := m.compare(k); rel != dimUnknown {
+		t.Errorf("m vs k = %v, want dimUnknown (distinct symbols may coincide)", rel)
+	}
+	if rel := sdimConst(3).compare(sdimConst(4)); rel != dimDiffers {
+		t.Errorf("3 vs 4 = %v, want dimDiffers", rel)
+	}
+	if rel := m.compare(sdimUnknown); rel != dimUnknown {
+		t.Errorf("m vs unknown = %v, want dimUnknown", rel)
+	}
+	// (m+2)*(k+3) expands to mk+3m+2k+6; subtracting the cross terms
+	// must leave the constant.
+	prod := m.add(sdimConst(2)).mul(k.add(sdimConst(3)))
+	rest := prod.sub(m.mul(k)).sub(m.mul(sdimConst(3))).sub(k.mul(sdimConst(2)))
+	if c, ok := rest.isConst(); !ok || c != 6 {
+		t.Errorf("expansion remainder = %v (const=%v), want 6", rest.render(), ok)
+	}
+	if got := m.mul(k).sub(k.mul(m)).key(); got != "0" {
+		t.Errorf("canceled product key = %q, want \"0\"", got)
+	}
+	if got := stripTermPositions("len(g#1234)*out#9"); got != "len(g)*out" {
+		t.Errorf("stripTermPositions = %q", got)
+	}
+}
+
+// TestParseShapeContract pins the annotation grammar.
+func TestParseShapeContract(t *testing.T) {
+	c, err := parseShapeContract("a=(m,k) b=(k,n) c=(m,n) tA:swap=a tB:swap=b")
+	if err != nil {
+		t.Fatalf("gemm contract: %v", err)
+	}
+	if len(c.slots) != 3 || !c.slots[0].mat || c.swaps["tA"] != "a" || c.swaps["tB"] != "b" {
+		t.Errorf("gemm contract parsed wrong: %+v", c)
+	}
+	if syms := c.symbols(); syms["m"] != 2 || syms["k"] != 2 || syms["n"] != 2 {
+		t.Errorf("gemm symbol counts = %v", c.symbols())
+	}
+
+	c, err = parseShapeContract("data=r*c return=(r,c)")
+	if err != nil {
+		t.Fatalf("fromslice contract: %v", err)
+	}
+	if c.ret == nil || !c.ret.mat || c.ret.rows.String() != "r" {
+		t.Errorf("fromslice return slot = %+v", c.ret)
+	}
+	if c.slots[0].rows.String() != "r*c" {
+		t.Errorf("product dim = %q, want r*c", c.slots[0].rows.String())
+	}
+
+	c, err = parseShapeContract("b=z.Cols x=m.Topo.Sizes")
+	if err != nil {
+		t.Fatalf("field contract: %v", err)
+	}
+	if c.slots[0].rows.String() != "z.Cols" || c.slots[1].rows.String() != "m.Topo.Sizes" {
+		t.Errorf("field dims = %q, %q", c.slots[0].rows.String(), c.slots[1].rows.String())
+	}
+
+	for _, bad := range []string{
+		"",                  // empty
+		"a=(m,k",            // unterminated
+		"a=(m,k,n)",         // three dims
+		"a=",                // missing shape
+		"=n",                // missing name
+		"a=(m,k) a=(m,k)",   // duplicate operand
+		"tA:swap=a",         // swap of an uncontracted operand
+		"a=m+",              // dangling operator
+		"a=(m,k) tB:swap=",  // swap without operand
+		"return=n return=n", // duplicate return
+		"a=2m",              // malformed term
+	} {
+		if _, err := parseShapeContract(bad); err == nil {
+			t.Errorf("parseShapeContract(%q): want error, got none", bad)
+		}
+	}
+}
+
+// TestShapeAnalyzerRegistered pins shape's membership in the module
+// suite (repolint -only shape resolves through ModuleAnalyzers).
+func TestShapeAnalyzerRegistered(t *testing.T) {
+	for _, m := range ModuleAnalyzers() {
+		if m.Name() == "shape" {
+			if !strings.Contains(m.Doc(), "shape") {
+				t.Errorf("shape doc does not describe itself: %q", m.Doc())
+			}
+			return
+		}
+	}
+	t.Error("shape analyzer not registered in ModuleAnalyzers")
+}

@@ -1,0 +1,287 @@
+package lint
+
+// Parsing of //lint:shape contract annotations. A contract documents
+// the dimensional relationships a numeric function imposes on its
+// operands, in terms the analyzer can unify at every call site:
+//
+//	//lint:shape a=(m,k) b=(k,n) c=(m,n) tA:swap=a tB:swap=b
+//	//lint:shape x=n y=n
+//	//lint:shape data=r*c return=(r,c)
+//	//lint:shape b=z.Cols
+//
+// Clause forms (whitespace separates clauses; a clause contains none):
+//
+//   - name=(d1,d2) — parameter name is a matrix whose op-shape is
+//     d1×d2;
+//   - name=d — parameter name is a slice/vector of length d (or, for an
+//     integer parameter, binds the symbol d to its value);
+//   - return=... — the function result carries the given shape;
+//   - flag:swap=name — when the argument for boolean/Transpose
+//     parameter flag is constant true at a call site, the declared
+//     dims of operand name are transposed; a non-constant flag makes
+//     that operand's dims unprovable at the site.
+//
+// Dimension expressions are products and sums of integer literals,
+// unification symbols (single identifiers, e.g. m, k, n — bound per
+// call site, in clause order, to the first operand that pins them),
+// and parameter field paths (e.g. m.Cols, net.Topo.Sizes), with *
+// binding tighter than +.
+
+import (
+	"fmt"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// shapeDirective is the contract annotation marker.
+const shapeDirective = "lint:shape"
+
+// dimExpr is a parsed contract dimension expression.
+type dimExpr interface{ String() string }
+
+// dimConst is an integer literal dimension.
+type dimConst int64
+
+func (d dimConst) String() string { return strconv.FormatInt(int64(d), 10) }
+
+// dimSym is a unification symbol (or an integer parameter reference —
+// the distinction is resolved against the callee signature per site).
+type dimSym string
+
+func (d dimSym) String() string { return string(d) }
+
+// dimField is a field path rooted at a parameter: m.Cols, f.X.Rows.
+type dimField struct {
+	param string
+	path  []string
+}
+
+func (d dimField) String() string { return d.param + "." + strings.Join(d.path, ".") }
+
+// dimBin is a product or sum of two dimension expressions.
+type dimBin struct {
+	op   byte // '*' or '+'
+	x, y dimExpr
+}
+
+func (d dimBin) String() string { return d.x.String() + string(d.op) + d.y.String() }
+
+// shapeSlot is one contracted operand.
+type shapeSlot struct {
+	name string  // parameter or receiver name ("return" for the result)
+	mat  bool    // matrix (rows×cols) vs vector/scalar (rows only)
+	rows dimExpr // the single length expression for vectors
+	cols dimExpr // nil unless mat
+}
+
+// shapeContract is one function's parsed //lint:shape annotation.
+type shapeContract struct {
+	slots []shapeSlot       // operand contracts in annotation order
+	ret   *shapeSlot        // result contract, if declared
+	swaps map[string]string // transpose-flag param → operand slot name
+	pos   token.Pos         // the annotated declaration (for findings)
+
+	// enforced records whether the function body carries a runtime
+	// dimension guard (check.Dims/check.Layout, or a panic-backed
+	// guard); unprovable call sites of enforced contracts are
+	// discharged by the runtime check instead of warned on.
+	enforced bool
+}
+
+// slot returns the contract slot for a parameter name.
+func (c *shapeContract) slot(name string) *shapeSlot {
+	for i := range c.slots {
+		if c.slots[i].name == name {
+			return &c.slots[i]
+		}
+	}
+	return nil
+}
+
+// symbols returns every unification symbol with its number of uses
+// across all slots (the unguarded-unprovable check only fires for
+// symbols that relate at least two dimensions).
+func (c *shapeContract) symbols() map[string]int {
+	count := map[string]int{}
+	visit := func(e dimExpr) {
+		walkDimExpr(e, func(e dimExpr) {
+			if s, ok := e.(dimSym); ok {
+				count[string(s)]++
+			}
+		})
+	}
+	for _, s := range c.slots {
+		visit(s.rows)
+		if s.mat {
+			visit(s.cols)
+		}
+	}
+	if c.ret != nil {
+		visit(c.ret.rows)
+		if c.ret.mat {
+			visit(c.ret.cols)
+		}
+	}
+	return count
+}
+
+// walkDimExpr applies fn to e and every subexpression.
+func walkDimExpr(e dimExpr, fn func(dimExpr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	if b, ok := e.(dimBin); ok {
+		walkDimExpr(b.x, fn)
+		walkDimExpr(b.y, fn)
+	}
+}
+
+// parseShapeContract parses the text after the lint:shape marker.
+func parseShapeContract(text string) (*shapeContract, error) {
+	c := &shapeContract{swaps: map[string]string{}}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty contract")
+	}
+	for _, f := range fields {
+		if name, op, ok := splitClause(f, ":swap="); ok {
+			if op == "" {
+				return nil, fmt.Errorf("clause %q: swap needs an operand name", f)
+			}
+			c.swaps[name] = op
+			continue
+		}
+		name, rhs, ok := splitClause(f, "=")
+		if !ok || name == "" || rhs == "" {
+			return nil, fmt.Errorf("clause %q: want name=shape or flag:swap=operand", f)
+		}
+		slot, err := parseSlot(name, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("clause %q: %v", f, err)
+		}
+		if name == "return" {
+			if c.ret != nil {
+				return nil, fmt.Errorf("clause %q: duplicate return contract", f)
+			}
+			c.ret = slot
+			continue
+		}
+		if c.slot(name) != nil {
+			return nil, fmt.Errorf("clause %q: duplicate operand %s", f, name)
+		}
+		c.slots = append(c.slots, *slot)
+	}
+	if len(c.slots) == 0 && c.ret == nil {
+		return nil, fmt.Errorf("contract declares no operands")
+	}
+	for flag, op := range c.swaps {
+		if op != "return" && c.slot(op) == nil {
+			return nil, fmt.Errorf("swap %s:swap=%s: no contract for operand %s", flag, op, op)
+		}
+	}
+	return c, nil
+}
+
+// splitClause splits "name<sep>rhs", requiring sep outside parentheses.
+func splitClause(s, sep string) (name, rhs string, ok bool) {
+	i := strings.Index(s, sep)
+	if i < 0 {
+		return "", "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// parseSlot parses the right-hand side of a clause: "(d1,d2)" or a
+// single dimension expression.
+func parseSlot(name, rhs string) (*shapeSlot, error) {
+	if strings.HasPrefix(rhs, "(") {
+		if !strings.HasSuffix(rhs, ")") {
+			return nil, fmt.Errorf("unterminated shape %q", rhs)
+		}
+		inner := rhs[1 : len(rhs)-1]
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("matrix shape %q needs exactly (rows,cols)", rhs)
+		}
+		rowsE, err := parseDimExpr(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		colsE, err := parseDimExpr(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return &shapeSlot{name: name, mat: true, rows: rowsE, cols: colsE}, nil
+	}
+	e, err := parseDimExpr(rhs)
+	if err != nil {
+		return nil, err
+	}
+	return &shapeSlot{name: name, rows: e}, nil
+}
+
+// parseDimExpr parses sums of products of atoms.
+func parseDimExpr(s string) (dimExpr, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty dimension expression")
+	}
+	var sum dimExpr
+	for _, addend := range strings.Split(s, "+") {
+		var prod dimExpr
+		for _, factor := range strings.Split(addend, "*") {
+			atom, err := parseDimAtom(factor)
+			if err != nil {
+				return nil, err
+			}
+			if prod == nil {
+				prod = atom
+			} else {
+				prod = dimBin{op: '*', x: prod, y: atom}
+			}
+		}
+		if sum == nil {
+			sum = prod
+		} else {
+			sum = dimBin{op: '+', x: sum, y: prod}
+		}
+	}
+	return sum, nil
+}
+
+// parseDimAtom parses one literal, symbol or field path.
+func parseDimAtom(s string) (dimExpr, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty term in dimension expression")
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return dimConst(n), nil
+	}
+	parts := strings.Split(s, ".")
+	for _, p := range parts {
+		if !isIdent(p) {
+			return nil, fmt.Errorf("bad dimension term %q", s)
+		}
+	}
+	if len(parts) == 1 {
+		return dimSym(parts[0]), nil
+	}
+	return dimField{param: parts[0], path: parts[1:]}, nil
+}
+
+// isIdent reports whether s is a plain Go identifier.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,222 @@
+package lint
+
+// Symbolic dimensions for the shape analyzer. A dimension is an abstract
+// integer value — a matrix extent, a vector length, a running buffer
+// offset — represented as a linear combination of canonical product
+// terms plus a constant:
+//
+//	3            → {c: 3}
+//	len(g)       → {terms: {"len(g#123)": 1}}
+//	out*in + out → {terms: {"in#7*out#9": 1, "out#9": 1}}
+//
+// Term keys embed the defining object's declaration position, so two
+// occurrences of the same variable unify and shadowed names do not.
+// The normal form makes the two questions the analyzer asks cheap:
+//
+//   - provably equal: identical normal forms;
+//   - provably different: identical term sets whose constants differ
+//     (x+4 vs x), or two plain constants (3 vs 4). Distinct symbols are
+//     never "different" — m and k may coincide at run time — so
+//     mismatch findings only fire on disagreements no execution can
+//     reconcile.
+//
+// Subtraction of normal forms also gives the partition checker exact
+// sub-slice widths and offset deltas for free.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sdim is one symbolic dimension in linear-combination normal form.
+// The zero value is the unknown dimension ⊤.
+type sdim struct {
+	known bool
+	c     int64            // constant part
+	terms map[string]int64 // canonical product term → coefficient (no zero entries)
+	disp  string           // source-level rendering for findings ("" → derived)
+}
+
+// sdimUnknown is the ⊤ dimension: nothing provable about it.
+var sdimUnknown = sdim{}
+
+// sdimConst returns the constant dimension n.
+func sdimConst(n int64) sdim {
+	return sdim{known: true, c: n}
+}
+
+// sdimTerm returns the dimension consisting of one symbolic atom. key
+// must be canonical (object-position-qualified); disp is the
+// human-readable form used in messages.
+func sdimTerm(key, disp string) sdim {
+	return sdim{known: true, terms: map[string]int64{key: 1}, disp: disp}
+}
+
+// isConst reports whether d is a known plain constant, and its value.
+func (d sdim) isConst() (int64, bool) {
+	return d.c, d.known && len(d.terms) == 0
+}
+
+// add returns a+b (⊤ if either is unknown).
+func (d sdim) add(o sdim) sdim {
+	if !d.known || !o.known {
+		return sdimUnknown
+	}
+	out := sdim{known: true, c: d.c + o.c, terms: map[string]int64{}}
+	for k, v := range d.terms {
+		out.terms[k] += v
+	}
+	for k, v := range o.terms {
+		out.terms[k] += v
+	}
+	out.trim()
+	return out
+}
+
+// neg returns -d.
+func (d sdim) neg() sdim {
+	if !d.known {
+		return sdimUnknown
+	}
+	out := sdim{known: true, c: -d.c, terms: map[string]int64{}}
+	for k, v := range d.terms {
+		out.terms[k] = -v
+	}
+	return out
+}
+
+// sub returns a-b.
+func (d sdim) sub(o sdim) sdim { return d.add(o.neg()) }
+
+// mul returns a·b, expanding the product of the two linear forms; term
+// keys multiply by merging their sorted atom lists, so out*in and
+// in*out share one canonical key.
+func (d sdim) mul(o sdim) sdim {
+	if !d.known || !o.known {
+		return sdimUnknown
+	}
+	out := sdim{known: true, c: d.c * o.c, terms: map[string]int64{}}
+	for k, v := range d.terms {
+		if o.c != 0 {
+			out.terms[k] += v * o.c
+		}
+	}
+	for k, v := range o.terms {
+		if d.c != 0 {
+			out.terms[k] += v * d.c
+		}
+	}
+	for k1, v1 := range d.terms {
+		for k2, v2 := range o.terms {
+			out.terms[mulTermKeys(k1, k2)] += v1 * v2
+		}
+	}
+	out.trim()
+	return out
+}
+
+// mulTermKeys merges two canonical product keys into one: each key is a
+// "*"-joined sorted multiset of atoms.
+func mulTermKeys(a, b string) string {
+	atoms := append(strings.Split(a, "*"), strings.Split(b, "*")...)
+	sort.Strings(atoms)
+	return strings.Join(atoms, "*")
+}
+
+// trim drops zero coefficients so equal forms compare equal.
+func (d *sdim) trim() {
+	for k, v := range d.terms {
+		if v == 0 {
+			delete(d.terms, k)
+		}
+	}
+}
+
+// dimRelation is the three-valued outcome of comparing two dimensions.
+type dimRelation int
+
+const (
+	dimUnknown dimRelation = iota // cannot be decided statically
+	dimEqual                      // provably the same value
+	dimDiffers                    // provably different on every execution
+)
+
+// compare relates two dimensions. Provable difference requires the
+// symbolic parts to cancel exactly, leaving a nonzero constant — the
+// only disagreement no runtime values can repair.
+func (d sdim) compare(o sdim) dimRelation {
+	if !d.known || !o.known {
+		return dimUnknown
+	}
+	diff := d.sub(o)
+	if len(diff.terms) != 0 {
+		return dimUnknown
+	}
+	if diff.c == 0 {
+		return dimEqual
+	}
+	return dimDiffers
+}
+
+// render produces the message form of d: the recorded source rendering
+// when one exists, otherwise the normal form itself.
+func (d sdim) render() string {
+	if !d.known {
+		return "?"
+	}
+	if d.disp != "" {
+		return d.disp
+	}
+	if len(d.terms) == 0 {
+		return fmt.Sprintf("%d", d.c)
+	}
+	keys := make([]string, 0, len(d.terms))
+	for k := range d.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		v := d.terms[k]
+		if i > 0 {
+			if v >= 0 {
+				b.WriteString("+")
+			}
+		}
+		switch v {
+		case 1:
+			b.WriteString(stripTermPositions(k))
+		case -1:
+			b.WriteString("-" + stripTermPositions(k))
+		default:
+			fmt.Fprintf(&b, "%d*%s", v, stripTermPositions(k))
+		}
+	}
+	if d.c != 0 {
+		fmt.Fprintf(&b, "%+d", d.c)
+	}
+	return b.String()
+}
+
+// stripTermPositions removes the "#digits" position qualifiers from a
+// canonical term key, recovering a readable name for findings.
+func stripTermPositions(key string) string {
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		if key[i] == '#' {
+			for i+1 < len(key) && key[i+1] >= '0' && key[i+1] <= '9' {
+				i++
+			}
+			continue
+		}
+		b.WriteByte(key[i])
+	}
+	return b.String()
+}
+
+// withDisp returns d carrying a source-level rendering.
+func (d sdim) withDisp(disp string) sdim {
+	d.disp = disp
+	return d
+}

@@ -1,0 +1,1522 @@
+package lint
+
+// The per-function abstract interpreter behind the shape analyzer. One
+// shapeInterp walks one function body in source order, maintaining an
+// environment from declared objects to symbolic shapes (matrix
+// dims, vector lengths, integer values — all sdims). Statements are
+// interpreted structurally: branch arms are walked on cloned
+// environments and joined (disagreeing facts decay to unknown), loop
+// bodies are walked once with loop-assigned variables havocked to
+// fresh per-loop atoms so within-iteration relationships still prove
+// while cross-iteration state never leaks. Every call expression is
+// checked against the callee's //lint:shape contract; every
+// running-offset sub-slice feeds the partition checker.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+type shapeKind int
+
+const (
+	shapeNone shapeKind = iota
+	shapeMat            // rows × cols
+	shapeVec            // length
+	shapeNum            // integer value
+)
+
+// objShape is the abstract value of one tracked object. An entry with
+// unknown dims still matters: it blocks the stale canonical-atom
+// fallback after the object has been reassigned.
+type objShape struct {
+	kind       shapeKind
+	rows, cols sdim // shapeMat
+	length     sdim // shapeVec
+	val        sdim // shapeNum
+}
+
+func (s objShape) equal(o objShape) bool {
+	return s.kind == o.kind && sdimEqNF(s.rows, o.rows) && sdimEqNF(s.cols, o.cols) &&
+		sdimEqNF(s.length, o.length) && sdimEqNF(s.val, o.val)
+}
+
+// sdimEqNF reports normal-form equality (both unknown counts as equal —
+// the join keeps no more than either side knew).
+func sdimEqNF(a, b sdim) bool {
+	if a.known != b.known {
+		return false
+	}
+	if !a.known {
+		return true
+	}
+	if a.c != b.c || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for k, v := range a.terms {
+		if b.terms[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// binding records what pinned a contract symbol at a call site.
+type binding struct {
+	dim sdim
+	by  string // "operand x" / "parameter n"
+}
+
+// partEvent is one step of a running-offset partition: a sub-slice of
+// the base with a symbolic width, or an offset advance.
+type partEvent struct {
+	isSlice bool
+	width   sdim // slice width or advance delta
+	node    ast.Node
+}
+
+// partitionSeq accumulates the events of one (base buffer, offset
+// variable) pair until the offset is reset or the function ends.
+type partitionSeq struct {
+	baseDisp string
+	offDisp  string
+	baseLen  sdim // length of the base at the first sub-slice
+	start    sdim // offset value at the first sub-slice
+	events   []partEvent
+	broken   bool // events crossed a branch or lost a width: report nothing
+	inLoop   bool // any event inside a loop: adjacency only, no total
+}
+
+type partKey struct {
+	base string // canonical key of the sliced buffer
+	off  types.Object
+}
+
+// shapeInterp interprets one function body.
+type shapeInterp struct {
+	ctx    *shapeCtx
+	p      *Package
+	fd     *ast.FuncDecl // nil for function literals
+	env    map[types.Object]objShape
+	killed map[types.Object]bool // untrackable objects assigned in loops: canon roots must fail
+	guards []token.Pos           // end positions of dominating runtime dim guards
+	parts  map[partKey]*partitionSeq
+	order  []partKey // finalize in first-slice order for deterministic findings
+	loop   int       // loop nesting depth
+	branch int       // branch nesting depth (if/switch/select)
+}
+
+func newShapeInterp(ctx *shapeCtx, p *Package, fd *ast.FuncDecl) *shapeInterp {
+	in := &shapeInterp{
+		ctx:    ctx,
+		p:      p,
+		fd:     fd,
+		env:    map[types.Object]objShape{},
+		killed: map[types.Object]bool{},
+		parts:  map[partKey]*partitionSeq{},
+	}
+	in.seedContract()
+	return in
+}
+
+// seedContract pre-binds the function's own contracted parameters with
+// shared symbol atoms, so calls that pass them straight through prove:
+// in CGMinimize (g=n d0=n), g and d0 carry the same length atom and the
+// cgStep contract unifies without a guard.
+func (in *shapeInterp) seedContract() {
+	if in.fd == nil {
+		return
+	}
+	fn, _ := in.p.Info.Defs[in.fd.Name].(*types.Func)
+	ci := in.ctx.contracts[fn]
+	if ci == nil {
+		return
+	}
+	params := map[string]types.Object{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if obj := in.p.Info.Defs[n]; obj != nil {
+					params[n.Name] = obj
+				}
+			}
+		}
+	}
+	collect(in.fd.Recv)
+	collect(in.fd.Type.Params)
+	seedExpr := func(e dimExpr) sdim { return in.seedDimExpr(e, params, ci) }
+	for _, s := range ci.c.slots {
+		obj := params[s.name]
+		if obj == nil {
+			continue
+		}
+		if s.mat {
+			in.env[obj] = objShape{kind: shapeMat, rows: seedExpr(s.rows), cols: seedExpr(s.cols)}
+			continue
+		}
+		switch {
+		case isSliceType(obj.Type()):
+			in.env[obj] = objShape{kind: shapeVec, length: seedExpr(s.rows)}
+		case isIntType(obj.Type()):
+			in.env[obj] = objShape{kind: shapeNum, val: seedExpr(s.rows)}
+		}
+	}
+}
+
+// seedDimExpr evaluates a contract expression in the function's own
+// frame: symbols become function-scoped atoms (shared across slots),
+// except symbols naming an integer parameter, which become that
+// parameter's atom so body uses of the parameter unify too.
+func (in *shapeInterp) seedDimExpr(e dimExpr, params map[string]types.Object, ci *contractInfo) sdim {
+	switch e := e.(type) {
+	case dimConst:
+		return sdimConst(int64(e))
+	case dimSym:
+		if obj := params[string(e)]; obj != nil && isIntType(obj.Type()) {
+			return sdimTerm(objKey(obj), obj.Name())
+		}
+		return sdimTerm(fmt.Sprintf("sym(%s)#%d", e, ci.decl.Pos()), string(e))
+	case dimField:
+		obj := params[e.param]
+		if obj == nil {
+			return sdimUnknown
+		}
+		path := strings.Join(e.path, ".")
+		return sdimTerm(objKey(obj)+"."+path, e.param+"."+path)
+	case dimBin:
+		x := in.seedDimExpr(e.x, params, ci)
+		y := in.seedDimExpr(e.y, params, ci)
+		if e.op == '*' {
+			return x.mul(y)
+		}
+		return x.add(y)
+	}
+	return sdimUnknown
+}
+
+// objKey is the canonical atom for an object's (current) value.
+func objKey(obj types.Object) string {
+	return fmt.Sprintf("%s#%d", obj.Name(), obj.Pos())
+}
+
+// key serializes a normal form deterministically, for embedding inside
+// canonical index atoms like Sizes[l+1].
+func (d sdim) key() string {
+	if !d.known {
+		return "?"
+	}
+	keys := make([]string, 0, len(d.terms))
+	for k := range d.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", d.c)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s^%d", k, d.terms[k])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Statement interpretation
+
+func (in *shapeInterp) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			in.walkStmt(st)
+		}
+	case *ast.ExprStmt:
+		in.scanExpr(s.X)
+	case *ast.AssignStmt:
+		in.walkAssign(s)
+	case *ast.DeclStmt:
+		in.walkDecl(s)
+	case *ast.IncDecStmt:
+		in.scanExpr(s.X)
+		delta := int64(1)
+		if s.Tok == token.DEC {
+			delta = -1
+		}
+		in.applyAdvance(s.X, sdimConst(delta), s)
+	case *ast.IfStmt:
+		in.walkIf(s)
+	case *ast.ForStmt:
+		in.walkStmt(s.Init)
+		if s.Cond != nil {
+			in.scanExpr(s.Cond)
+		}
+		pre := in.cloneEnv()
+		in.havocLoop(s.Body, s.Post)
+		in.loop++
+		in.walkStmt(s.Body)
+		in.walkStmt(s.Post)
+		in.loop--
+		in.env = joinEnv(pre, in.env)
+	case *ast.RangeStmt:
+		in.scanExpr(s.X)
+		pre := in.cloneEnv()
+		in.havocLoop(s.Body, nil)
+		if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+			in.havocObj(in.identObj(id))
+		}
+		if id, ok := s.Value.(*ast.Ident); ok && id != nil && id.Name != "_" {
+			in.havocObj(in.identObj(id))
+		}
+		in.loop++
+		in.walkStmt(s.Body)
+		in.loop--
+		in.env = joinEnv(pre, in.env)
+	case *ast.SwitchStmt:
+		in.walkStmt(s.Init)
+		if s.Tag != nil {
+			in.scanExpr(s.Tag)
+		}
+		in.walkBranches(caseBodies(s.Body))
+	case *ast.TypeSwitchStmt:
+		in.walkStmt(s.Init)
+		in.walkBranches(caseBodies(s.Body))
+	case *ast.SelectStmt:
+		in.walkBranches(caseBodies(s.Body))
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			in.scanExpr(r)
+		}
+	case *ast.GoStmt:
+		in.scanExpr(s.Call)
+	case *ast.DeferStmt:
+		in.scanExpr(s.Call)
+	case *ast.SendStmt:
+		in.scanExpr(s.Chan)
+		in.scanExpr(s.Value)
+	case *ast.LabeledStmt:
+		in.walkStmt(s.Stmt)
+	}
+}
+
+// caseBodies lists the statement bodies of switch/select clauses.
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				out = append(out, append([]ast.Stmt{c.Comm}, c.Body...))
+			} else {
+				out = append(out, c.Body)
+			}
+		}
+	}
+	return out
+}
+
+// walkBranches interprets alternative arms from the same entry environment
+// and joins all results with the fall-through (no arm taken).
+func (in *shapeInterp) walkBranches(arms [][]ast.Stmt) {
+	pre := in.cloneEnv()
+	joined := in.cloneEnv()
+	in.branch++
+	for _, arm := range arms {
+		in.env = cloneEnvMap(pre)
+		for _, st := range arm {
+			in.walkStmt(st)
+		}
+		joined = joinEnv(joined, in.env)
+	}
+	in.branch--
+	in.env = joined
+}
+
+func (in *shapeInterp) walkIf(s *ast.IfStmt) {
+	in.walkStmt(s.Init)
+	in.scanExpr(s.Cond)
+	pre := in.cloneEnv()
+	in.branch++
+	in.walkStmt(s.Body)
+	thenEnv := in.env
+	elseEnv := pre
+	if s.Else != nil {
+		in.env = cloneEnvMap(pre)
+		in.walkStmt(s.Else)
+		elseEnv = in.env
+	}
+	in.branch--
+	if in.isGuardIf(s) {
+		// The guarded continuation only runs when the dims agreed:
+		// discharge unprovable obligations after this statement, and
+		// prefer the fall-through environment (the panicking/returning
+		// arm contributes no state).
+		in.guards = append(in.guards, s.End())
+		if s.Else == nil {
+			in.env = pre
+			return
+		}
+	}
+	in.env = joinEnv(thenEnv, elseEnv)
+}
+
+// isGuardIf recognizes the runtime guard idiom: a condition that
+// mentions lengths or dims whose body cannot fall through (panic, a
+// fail-fast helper, or an early return).
+func (in *shapeInterp) isGuardIf(s *ast.IfStmt) bool {
+	mentionsDims := false
+	ast.Inspect(s.Cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" {
+				mentionsDims = true
+			}
+		case *ast.SelectorExpr:
+			switch n.Sel.Name {
+			case "Rows", "Cols", "Stride":
+				mentionsDims = true
+			}
+		}
+		return !mentionsDims
+	})
+	if !mentionsDims {
+		return false
+	}
+	terminates := false
+	ast.Inspect(s.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			terminates = true
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				terminates = true
+			}
+			if fn := in.p.calleeFunc(n); fn != nil && fn.Pkg() == in.p.Types && in.ctx.panicFns[fn] {
+				terminates = true
+			}
+		}
+		return !terminates
+	})
+	return terminates
+}
+
+// ---------------------------------------------------------------------------
+// Environment maintenance
+
+func (in *shapeInterp) cloneEnv() map[types.Object]objShape { return cloneEnvMap(in.env) }
+
+func cloneEnvMap(env map[types.Object]objShape) map[types.Object]objShape {
+	out := make(map[types.Object]objShape, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// joinEnv meets two environments: facts present and equal survive,
+// anything else decays to an explicit unknown entry of the right kind
+// (blocking the atom fallback — the object's value is path-dependent).
+func joinEnv(a, b map[types.Object]objShape) map[types.Object]objShape {
+	out := make(map[types.Object]objShape, len(a))
+	for obj, sa := range a {
+		if sb, ok := b[obj]; ok {
+			if sa.equal(sb) {
+				out[obj] = sa
+			} else {
+				out[obj] = objShape{kind: sa.kind}
+			}
+			continue
+		}
+		out[obj] = objShape{kind: sa.kind}
+	}
+	for obj, sb := range b {
+		if _, ok := a[obj]; !ok {
+			out[obj] = objShape{kind: sb.kind}
+		}
+	}
+	return out
+}
+
+// havocLoop forgets every variable assigned inside a loop before
+// walking its body once. Trackable kinds are re-seeded with fresh
+// per-loop atoms — consistent within one iteration, unrelated to the
+// pre-loop value — so loop-body relationships (Sizes[l+1]*Sizes[l]
+// advances against equal-width sub-slices) still prove.
+func (in *shapeInterp) havocLoop(body *ast.BlockStmt, post ast.Stmt) {
+	assigned := map[types.Object]bool{}
+	record := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := in.identObj(id); obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	visit := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				record(l)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.RangeStmt:
+			record(n.Key)
+			record(n.Value)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				record(n.X)
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	if post != nil {
+		ast.Inspect(post, visit)
+	}
+	for obj := range assigned {
+		in.havocObj(obj)
+	}
+}
+
+// havocObj forgets one object across loop iterations. The fresh atoms
+// are qualified by the object's kind of use site via a counter-free
+// position suffix: one havoc per loop entry, stable across the walk.
+func (in *shapeInterp) havocObj(obj types.Object) {
+	if obj == nil {
+		return
+	}
+	fresh := func(suffix, disp string) sdim {
+		return sdimTerm(fmt.Sprintf("%s@loop%s", objKey(obj), suffix), disp)
+	}
+	switch {
+	case typeHasRowsCols(obj.Type()):
+		in.env[obj] = objShape{kind: shapeMat, rows: fresh(".r", obj.Name()+".Rows"), cols: fresh(".c", obj.Name()+".Cols")}
+	case isSliceType(obj.Type()):
+		in.env[obj] = objShape{kind: shapeVec, length: fresh(".len", "len("+obj.Name()+")")}
+	case isIntType(obj.Type()):
+		in.env[obj] = objShape{kind: shapeNum, val: fresh("", obj.Name())}
+	default:
+		delete(in.env, obj)
+		in.killed[obj] = true
+	}
+}
+
+func (in *shapeInterp) identObj(id *ast.Ident) types.Object {
+	if obj := in.p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return in.p.Info.Uses[id]
+}
+
+// ---------------------------------------------------------------------------
+// Assignments
+
+func (in *shapeInterp) walkAssign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		in.scanExpr(r)
+	}
+	for _, l := range s.Lhs {
+		in.scanExpr(l)
+	}
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) != len(s.Rhs) {
+			for _, l := range s.Lhs {
+				if id, ok := unparen(l).(*ast.Ident); ok && id.Name != "_" {
+					in.setUnknown(in.identObj(id))
+				}
+			}
+			return
+		}
+		for i, l := range s.Lhs {
+			id, ok := unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := in.identObj(id)
+			if obj == nil {
+				continue
+			}
+			in.resetPartitions(obj)
+			in.bindObj(obj, s.Rhs[i])
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		delta := in.evalNum(s.Rhs[0])
+		if s.Tok == token.SUB_ASSIGN {
+			delta = delta.neg()
+		}
+		in.applyAdvance(s.Lhs[0], delta, s)
+	default:
+		if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			in.setUnknown(in.identObj(id))
+		}
+	}
+}
+
+func (in *shapeInterp) walkDecl(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			in.scanExpr(v)
+		}
+		for i, name := range vs.Names {
+			obj := in.p.Info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if len(vs.Values) == len(vs.Names) {
+				in.bindObj(obj, vs.Values[i])
+				continue
+			}
+			if len(vs.Values) == 0 {
+				// Zero value: integers start at 0 — the usual birth of a
+				// running offset (`var off int`).
+				if isIntType(obj.Type()) {
+					in.env[obj] = objShape{kind: shapeNum, val: sdimConst(0)}
+				} else {
+					in.setUnknown(obj)
+				}
+				continue
+			}
+			in.setUnknown(obj)
+		}
+	}
+}
+
+// bindObj stores the abstract value of rhs under obj, choosing the
+// tracked kind from the object's static type.
+func (in *shapeInterp) bindObj(obj types.Object, rhs ast.Expr) {
+	switch {
+	case typeHasRowsCols(obj.Type()):
+		r, c := in.evalMat(rhs)
+		in.env[obj] = objShape{kind: shapeMat, rows: r, cols: c}
+	case isSliceType(obj.Type()):
+		in.env[obj] = objShape{kind: shapeVec, length: in.evalLen(rhs)}
+	case isIntType(obj.Type()):
+		in.env[obj] = objShape{kind: shapeNum, val: in.evalNum(rhs)}
+	default:
+		in.setUnknown(obj)
+	}
+}
+
+// setUnknown forgets obj while keeping an explicit entry for trackable
+// kinds so stale canonical atoms cannot resurrect the old value.
+func (in *shapeInterp) setUnknown(obj types.Object) {
+	if obj == nil {
+		return
+	}
+	switch {
+	case typeHasRowsCols(obj.Type()):
+		in.env[obj] = objShape{kind: shapeMat}
+	case isSliceType(obj.Type()):
+		in.env[obj] = objShape{kind: shapeVec}
+	case isIntType(obj.Type()):
+		in.env[obj] = objShape{kind: shapeNum}
+	default:
+		delete(in.env, obj)
+		in.killed[obj] = true
+	}
+}
+
+// applyAdvance handles off += delta / off -= delta / off++: updates the
+// integer value and feeds active partition sequences keyed by off.
+func (in *shapeInterp) applyAdvance(lhs ast.Expr, delta sdim, node ast.Node) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := in.identObj(id)
+	if obj == nil || !isIntType(obj.Type()) {
+		return
+	}
+	cur := in.numValOf(obj)
+	in.env[obj] = objShape{kind: shapeNum, val: cur.add(delta)}
+	for _, key := range in.order {
+		seq := in.parts[key]
+		if seq == nil || key.off != obj {
+			continue
+		}
+		if !delta.known {
+			in.finalizeSeq(key)
+			continue
+		}
+		if in.branch > 0 {
+			seq.broken = true
+		}
+		if in.loop > 0 {
+			seq.inLoop = true
+		}
+		seq.events = append(seq.events, partEvent{width: delta, node: node})
+	}
+}
+
+// numValOf is the integer abstract value of obj: its environment entry
+// when present, otherwise its canonical atom.
+func (in *shapeInterp) numValOf(obj types.Object) sdim {
+	if sh, ok := in.env[obj]; ok {
+		if sh.kind == shapeNum {
+			return sh.val
+		}
+		return sdimUnknown
+	}
+	if in.killed[obj] {
+		return sdimUnknown
+	}
+	return sdimTerm(objKey(obj), obj.Name())
+}
+
+// ---------------------------------------------------------------------------
+// Expression scanning: contract checks, guards, partition events
+
+// scanExpr visits an expression tree in source order, checking every
+// contracted call and recording partition events. Function literals
+// are interpreted in their own frame.
+func (in *shapeInterp) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			in.handleCall(n)
+		case *ast.SliceExpr:
+			in.handleSlice(n)
+		case *ast.FuncLit:
+			sub := newShapeInterp(in.ctx, in.p, nil)
+			sub.walkStmt(n.Body)
+			sub.finishPartitions()
+			return false
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Partition checking
+
+// handleSlice records base[off:hi] as a partition event when the low
+// bound is a plain integer variable — the running-offset idiom.
+func (in *shapeInterp) handleSlice(e *ast.SliceExpr) {
+	loId, ok := unparen(e.Low).(*ast.Ident)
+	if !ok {
+		return
+	}
+	off := in.identObj(loId)
+	if off == nil || !isIntType(off.Type()) {
+		return
+	}
+	baseKey, baseDisp, ok := in.canonKey(e.X)
+	if !ok {
+		return
+	}
+	var hi sdim
+	if e.High != nil {
+		hi = in.evalNum(e.High)
+	} else {
+		hi = in.evalLen(e.X)
+	}
+	cur := in.numValOf(off)
+	width := hi.sub(cur)
+	key := partKey{base: baseKey, off: off}
+	seq := in.parts[key]
+	if !width.known {
+		if seq != nil {
+			in.finalizeSeq(key)
+		}
+		return
+	}
+	if seq == nil {
+		seq = &partitionSeq{
+			baseDisp: baseDisp,
+			offDisp:  loId.Name,
+			baseLen:  in.evalLen(e.X),
+			start:    cur,
+		}
+		in.parts[key] = seq
+		in.order = append(in.order, key)
+	}
+	if in.branch > 0 {
+		seq.broken = true
+	}
+	if in.loop > 0 {
+		seq.inLoop = true
+	}
+	seq.events = append(seq.events, partEvent{isSlice: true, width: width, node: e})
+}
+
+// resetPartitions finalizes sequences whose offset variable is being
+// re-assigned (a new partition pass starts from scratch).
+func (in *shapeInterp) resetPartitions(obj types.Object) {
+	for _, key := range in.order {
+		if key.off == obj && in.parts[key] != nil {
+			in.finalizeSeq(key)
+		}
+	}
+}
+
+// finishPartitions finalizes all sequences still open at function end.
+func (in *shapeInterp) finishPartitions() {
+	for _, key := range in.order {
+		if in.parts[key] != nil {
+			in.finalizeSeq(key)
+		}
+	}
+}
+
+// finalizeSeq runs the adjacency and coverage checks on one sequence
+// and closes it. Adjacency: the advances between consecutive sub-slices
+// must sum to the earlier slice's width — provably less overlaps,
+// provably more leaves a gap. Coverage: for straight-line sequences
+// over a base of known length, the covered extent must equal it.
+func (in *shapeInterp) finalizeSeq(key partKey) {
+	seq := in.parts[key]
+	delete(in.parts, key)
+	if seq == nil || seq.broken {
+		return
+	}
+	nslices := 0
+	for _, ev := range seq.events {
+		if ev.isSlice {
+			nslices++
+		}
+	}
+	if nslices == 0 {
+		return
+	}
+	// Adjacency between consecutive slices (and after the last one).
+	for i := 0; i < len(seq.events); i++ {
+		if !seq.events[i].isSlice {
+			continue
+		}
+		w := seq.events[i].width
+		adv := sdimConst(0)
+		nadv := 0
+		j := i + 1
+		var lastNode ast.Node
+		for ; j < len(seq.events) && !seq.events[j].isSlice; j++ {
+			adv = adv.add(seq.events[j].width)
+			nadv++
+			lastNode = seq.events[j].node
+		}
+		if nadv == 0 {
+			continue // re-slice of the same window, or final slice with no advance
+		}
+		diff := adv.sub(w)
+		c, isConst := diff.isConst()
+		if !isConst || c == 0 {
+			continue
+		}
+		verb := "leave a gap"
+		if c < 0 {
+			verb = "overlap"
+		}
+		in.ctx.findings = append(in.ctx.findings, in.p.finding(in.ctx.a, SevError, lastNode,
+			"sub-slices of %s %s: offset %s advances %s after a %s-wide sub-slice",
+			seq.baseDisp, verb, seq.offDisp, adv.render(), w.render()))
+		return // one layout finding per sequence; later checks would double-report
+	}
+	// Coverage: straight-line only, base length known.
+	if seq.inLoop || !seq.baseLen.known || !seq.start.known || nslices < 2 {
+		return
+	}
+	pos := seq.start
+	covered := sdimUnknown
+	var lastNode ast.Node
+	for _, ev := range seq.events {
+		lastNode = ev.node
+		if ev.isSlice {
+			covered = pos.add(ev.width)
+		} else {
+			pos = pos.add(ev.width)
+		}
+	}
+	if pos.known && pos.compare(covered) != dimEqual {
+		// Trailing advances moved past the last slice end; the larger
+		// extent is what the pass consumed.
+		if d := pos.sub(covered); d.known {
+			if c, ok := d.isConst(); ok && c > 0 {
+				covered = pos
+			}
+		}
+	}
+	if !covered.known {
+		return
+	}
+	if rel := covered.compare(seq.baseLen); rel == dimDiffers {
+		in.ctx.findings = append(in.ctx.findings, in.p.finding(in.ctx.a, SevError, lastNode,
+			"sub-slices of %s cover %s of its %s elements",
+			seq.baseDisp, covered.render(), seq.baseLen.render()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Contract checking at call sites
+
+func (in *shapeInterp) handleCall(call *ast.CallExpr) {
+	if isCheckDimsCall(in.p, call) {
+		in.guards = append(in.guards, call.End())
+		return
+	}
+	fn := in.p.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	ci := in.ctx.contracts[fn]
+	if ci == nil {
+		return
+	}
+	args, ok := in.buildArgMap(ci, call)
+	if !ok {
+		return
+	}
+	bindings := in.bindContract(ci, args)
+	symCount := ci.c.symbols()
+	type obligation struct{ desc string }
+	var obligations []obligation
+	for si := range ci.c.slots {
+		s := &ci.c.slots[si]
+		arg := args[s.name]
+		if arg == nil {
+			continue
+		}
+		dims, names, ok := in.slotActual(ci, s, args)
+		if !ok {
+			continue
+		}
+		want := []dimExpr{s.rows}
+		if s.mat {
+			want = append(want, s.cols)
+		}
+		for di := range dims {
+			expected := in.evalContractExpr(want[di], bindings, args)
+			rel := dimUnknown
+			if expected.known && dims[di].known {
+				rel = dims[di].compare(expected)
+			}
+			switch rel {
+			case dimEqual:
+				continue
+			case dimDiffers:
+				note := ""
+				if sym, isSym := want[di].(dimSym); isSym {
+					if b, ok := bindings[string(sym)]; ok {
+						note = fmt.Sprintf(" (%s = %s, bound by %s)", sym, b.dim.render(), b.by)
+					}
+				}
+				in.ctx.findings = append(in.ctx.findings, in.p.finding(in.ctx.a, SevError, call,
+					"call to %s: operand %s has %s %s but contract requires %s%s",
+					fn.Name(), s.name, dims[di].render(), names[di], want[di].String(), note))
+				return
+			case dimUnknown:
+				if sym, isSym := want[di].(dimSym); isSym && symCount[string(sym)] < 2 {
+					continue // single-use symbol relates nothing: vacuous
+				}
+				if !expected.known && !dims[di].known {
+					// Neither the contract side nor the operand resolved to
+					// anything symbolic; the obligation would relate two
+					// blanks (e.g. v.Clone() on an untracked receiver, where
+					// the receiver slot is the symbol's only binder).
+					continue
+				}
+				obligations = append(obligations, obligation{
+					desc: fmt.Sprintf("%s of operand %s = %s", names[di], s.name, want[di].String()),
+				})
+			}
+		}
+	}
+	if len(obligations) == 0 {
+		return
+	}
+	if ci.c.enforced {
+		return // the callee's own runtime guard enforces the contract
+	}
+	if in.guardBefore(call.Pos()) {
+		return // a caller-side check.Dims / length guard dominates the call
+	}
+	in.ctx.findings = append(in.ctx.findings, in.p.finding(in.ctx.a, SevWarn, call,
+		"call to %s: cannot prove %s; callee has no runtime dim guard and no check.Dims/length guard dominates this call",
+		fn.Name(), obligations[0].desc))
+}
+
+func (in *shapeInterp) guardBefore(pos token.Pos) bool {
+	for _, g := range in.guards {
+		if g <= pos {
+			return true
+		}
+	}
+	return false
+}
+
+// buildArgMap pairs the callee's declared parameter (and receiver)
+// names with the call's argument expressions.
+func (in *shapeInterp) buildArgMap(ci *contractInfo, call *ast.CallExpr) (map[string]ast.Expr, bool) {
+	sig, ok := ci.fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		return nil, false
+	}
+	var names []string
+	for _, f := range ci.decl.Type.Params.List {
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+	}
+	if len(names) != len(call.Args) {
+		return nil, false
+	}
+	args := map[string]ast.Expr{}
+	for i, n := range names {
+		args[n] = call.Args[i]
+	}
+	if ci.decl.Recv != nil {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || in.p.Info.Selections[sel] == nil {
+			return nil, false
+		}
+		if len(ci.decl.Recv.List) == 1 && len(ci.decl.Recv.List[0].Names) == 1 {
+			args[ci.decl.Recv.List[0].Names[0].Name] = sel.X
+		}
+	}
+	return args, true
+}
+
+// bindContract runs the binding pass: integer parameters named by
+// symbols bind first, then slot dims pin any still-unbound bare symbol
+// whose actual is known, in annotation order.
+func (in *shapeInterp) bindContract(ci *contractInfo, args map[string]ast.Expr) map[string]binding {
+	bindings := map[string]binding{}
+	sig := ci.fn.Type().(*types.Signature)
+	for sym := range ci.c.symbols() {
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			if p.Name() != sym || !isIntType(p.Type()) {
+				continue
+			}
+			if arg := args[sym]; arg != nil {
+				if v := in.evalNum(arg); v.known {
+					bindings[sym] = binding{dim: v, by: "parameter " + sym}
+				}
+			}
+		}
+	}
+	for si := range ci.c.slots {
+		s := &ci.c.slots[si]
+		arg := args[s.name]
+		if arg == nil {
+			continue
+		}
+		dims, _, ok := in.slotActual(ci, s, args)
+		if !ok {
+			continue
+		}
+		want := []dimExpr{s.rows}
+		if s.mat {
+			want = append(want, s.cols)
+		}
+		for di := range dims {
+			sym, isSym := want[di].(dimSym)
+			if !isSym || !dims[di].known {
+				continue
+			}
+			if _, bound := bindings[string(sym)]; !bound {
+				bindings[string(sym)] = binding{dim: dims[di], by: "operand " + s.name}
+			}
+		}
+	}
+	return bindings
+}
+
+// slotActual evaluates the call-site dims of one contracted operand,
+// applying transpose-flag swaps. Returns the dim list (rows[,cols] for
+// matrices, the single length/value otherwise), matching dim names for
+// messages, and whether the operand kind could be evaluated at all.
+func (in *shapeInterp) slotActual(ci *contractInfo, s *shapeSlot, args map[string]ast.Expr) ([]sdim, []string, bool) {
+	arg := args[s.name]
+	if s.mat {
+		r, c := in.evalMat(arg)
+		for flag, op := range ci.c.swaps {
+			if op != s.name {
+				continue
+			}
+			flagArg := args[flag]
+			if flagArg == nil {
+				continue
+			}
+			val, isConst := in.constBool(flagArg)
+			if !isConst {
+				r, c = sdimUnknown, sdimUnknown
+			} else if val {
+				r, c = c, r
+			}
+		}
+		return []sdim{r, c}, []string{"rows", "cols"}, true
+	}
+	pt := in.paramType(ci, s.name)
+	switch {
+	case pt != nil && isSliceType(pt):
+		return []sdim{in.evalLen(arg)}, []string{"length"}, true
+	case pt != nil && isIntType(pt):
+		return []sdim{in.evalNum(arg)}, []string{"value"}, true
+	}
+	return nil, nil, false
+}
+
+func (in *shapeInterp) paramType(ci *contractInfo, name string) types.Type {
+	sig := ci.fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil && ci.decl.Recv != nil &&
+		len(ci.decl.Recv.List) == 1 && len(ci.decl.Recv.List[0].Names) == 1 &&
+		ci.decl.Recv.List[0].Names[0].Name == name {
+		return recv.Type()
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return sig.Params().At(i).Type()
+		}
+	}
+	return nil
+}
+
+// constBool folds a boolean (or Transpose-like) argument.
+func (in *shapeInterp) constBool(e ast.Expr) (val, isConst bool) {
+	if tv, ok := in.p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+		return constant.BoolVal(tv.Value), true
+	}
+	return false, false
+}
+
+// evalContractExpr evaluates a contract dimension expression at a call
+// site, under the site's symbol bindings and argument map.
+func (in *shapeInterp) evalContractExpr(e dimExpr, bindings map[string]binding, args map[string]ast.Expr) sdim {
+	switch e := e.(type) {
+	case dimConst:
+		return sdimConst(int64(e))
+	case dimSym:
+		if b, ok := bindings[string(e)]; ok {
+			return b.dim
+		}
+		return sdimUnknown
+	case dimField:
+		arg := args[e.param]
+		if arg == nil {
+			return sdimUnknown
+		}
+		if len(e.path) == 1 && (e.path[0] == "Rows" || e.path[0] == "Cols") {
+			r, c := in.evalMat(arg)
+			if e.path[0] == "Rows" {
+				return r
+			}
+			return c
+		}
+		key, disp, ok := in.canonKey(arg)
+		if !ok {
+			return sdimUnknown
+		}
+		path := strings.Join(e.path, ".")
+		return sdimTerm(key+"."+path, disp+"."+path)
+	case dimBin:
+		x := in.evalContractExpr(e.x, bindings, args)
+		y := in.evalContractExpr(e.y, bindings, args)
+		if e.op == '*' {
+			return x.mul(y)
+		}
+		return x.add(y)
+	}
+	return sdimUnknown
+}
+
+// contractRet instantiates a callee's return contract at a call site,
+// for assignments like w := tensor.FromSlice(out, in, chunk).
+func (in *shapeInterp) contractRet(call *ast.CallExpr) (objShape, bool) {
+	fn := in.p.calleeFunc(call)
+	if fn == nil {
+		return objShape{}, false
+	}
+	ci := in.ctx.contracts[fn]
+	if ci == nil || ci.c.ret == nil {
+		return objShape{}, false
+	}
+	args, ok := in.buildArgMap(ci, call)
+	if !ok {
+		return objShape{}, false
+	}
+	bindings := in.bindContract(ci, args)
+	ret := ci.c.ret
+	if ret.mat {
+		r := in.evalContractExpr(ret.rows, bindings, args)
+		c := in.evalContractExpr(ret.cols, bindings, args)
+		for flag, op := range ci.c.swaps {
+			if op != "return" {
+				continue
+			}
+			val, isConst := false, false
+			if flagArg := args[flag]; flagArg != nil {
+				val, isConst = in.constBool(flagArg)
+			}
+			if !isConst {
+				r, c = sdimUnknown, sdimUnknown
+			} else if val {
+				r, c = c, r
+			}
+		}
+		return objShape{kind: shapeMat, rows: r, cols: c}, true
+	}
+	v := in.evalContractExpr(ret.rows, bindings, args)
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() == 1 && isIntType(sig.Results().At(0).Type()) {
+		return objShape{kind: shapeNum, val: v}, true
+	}
+	return objShape{kind: shapeVec, length: v}, true
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+// evalNum evaluates an integer-valued expression to a symbolic dim.
+func (in *shapeInterp) evalNum(e ast.Expr) sdim {
+	if e == nil {
+		return sdimUnknown
+	}
+	if tv, ok := in.p.Info.Types[e]; ok && tv.Value != nil {
+		if v := constant.ToInt(tv.Value); v.Kind() == constant.Int {
+			if n, exact := constant.Int64Val(v); exact {
+				return sdimConst(n)
+			}
+		}
+		return sdimUnknown
+	}
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := in.identObj(e)
+		if obj == nil {
+			return sdimUnknown
+		}
+		return in.numValOf(obj)
+	case *ast.BinaryExpr:
+		x := in.evalNum(e.X)
+		y := in.evalNum(e.Y)
+		switch e.Op {
+		case token.ADD:
+			return x.add(y)
+		case token.SUB:
+			return x.sub(y)
+		case token.MUL:
+			return x.mul(y)
+		}
+		return sdimUnknown
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			return in.evalNum(e.X).neg()
+		}
+		return sdimUnknown
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "len" && len(e.Args) == 1 {
+			if _, isBuiltin := in.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return in.evalLen(e.Args[0])
+			}
+		}
+		if in.isConversion(e) {
+			return in.evalNum(e.Args[0])
+		}
+		if sh, ok := in.contractRet(e); ok && sh.kind == shapeNum {
+			return sh.val
+		}
+		return sdimUnknown
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "Rows" || e.Sel.Name == "Cols" {
+			if typeHasRowsCols(in.exprType(e.X)) {
+				r, c := in.evalMat(e.X)
+				if e.Sel.Name == "Rows" {
+					return r
+				}
+				return c
+			}
+		}
+		return in.canonAtom(e)
+	case *ast.IndexExpr:
+		return in.canonAtom(e)
+	}
+	return sdimUnknown
+}
+
+// evalLen evaluates the length of a slice-valued expression.
+func (in *shapeInterp) evalLen(e ast.Expr) sdim {
+	if e == nil {
+		return sdimUnknown
+	}
+	if at, ok := in.exprType(e).(*types.Array); ok {
+		return sdimConst(at.Len())
+	}
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := in.identObj(e)
+		if obj == nil {
+			return sdimUnknown
+		}
+		if sh, ok := in.env[obj]; ok {
+			if sh.kind == shapeVec {
+				return sh.length
+			}
+			return sdimUnknown
+		}
+		if in.killed[obj] {
+			return sdimUnknown
+		}
+		return sdimTerm("len("+objKey(obj)+")", "len("+obj.Name()+")")
+	case *ast.SliceExpr:
+		var lo, hi sdim
+		if e.Low != nil {
+			lo = in.evalNum(e.Low)
+		} else {
+			lo = sdimConst(0)
+		}
+		if e.High != nil {
+			hi = in.evalNum(e.High)
+		} else {
+			hi = in.evalLen(e.X)
+		}
+		return hi.sub(lo)
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" && len(e.Args) >= 2 {
+			if _, isBuiltin := in.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return in.evalNum(e.Args[1])
+			}
+		}
+		if in.isConversion(e) {
+			return in.evalLen(e.Args[0])
+		}
+		if sh, ok := in.contractRet(e); ok && sh.kind == shapeVec {
+			return sh.length
+		}
+		return sdimUnknown
+	case *ast.CompositeLit:
+		if _, ok := in.exprType(e).(*types.Slice); ok {
+			for _, el := range e.Elts {
+				if _, kv := el.(*ast.KeyValueExpr); kv {
+					return sdimUnknown
+				}
+			}
+			return sdimConst(int64(len(e.Elts)))
+		}
+		return sdimUnknown
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		key, disp, ok := in.canonKey(e)
+		if !ok {
+			return sdimUnknown
+		}
+		return sdimTerm("len("+key+")", "len("+disp+")")
+	}
+	return sdimUnknown
+}
+
+// evalMat evaluates the (rows, cols) of a matrix-valued expression.
+func (in *shapeInterp) evalMat(e ast.Expr) (sdim, sdim) {
+	if e == nil {
+		return sdimUnknown, sdimUnknown
+	}
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := in.identObj(e)
+		if obj == nil {
+			return sdimUnknown, sdimUnknown
+		}
+		if sh, ok := in.env[obj]; ok {
+			if sh.kind == shapeMat {
+				return sh.rows, sh.cols
+			}
+			return sdimUnknown, sdimUnknown
+		}
+		if in.killed[obj] {
+			return sdimUnknown, sdimUnknown
+		}
+		return in.matAtoms(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return in.evalMat(e.X)
+		}
+		return sdimUnknown, sdimUnknown
+	case *ast.CompositeLit:
+		return in.matLitDims(e)
+	case *ast.CallExpr:
+		if in.isConversion(e) {
+			return in.evalMat(e.Args[0])
+		}
+		if sh, ok := in.contractRet(e); ok && sh.kind == shapeMat {
+			return sh.rows, sh.cols
+		}
+		return sdimUnknown, sdimUnknown
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return in.matAtoms(e)
+	case *ast.StarExpr:
+		return in.evalMat(e.X)
+	}
+	return sdimUnknown, sdimUnknown
+}
+
+// matLitDims reads Rows/Cols out of a struct literal; unset fields are
+// the zero value 0.
+func (in *shapeInterp) matLitDims(e *ast.CompositeLit) (sdim, sdim) {
+	if !typeHasRowsCols(in.exprType(e)) {
+		return sdimUnknown, sdimUnknown
+	}
+	r, c := sdimConst(0), sdimConst(0)
+	for _, el := range e.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return sdimUnknown, sdimUnknown // positional: field order not worth modeling
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Rows":
+			r = in.evalNum(kv.Value)
+		case "Cols":
+			c = in.evalNum(kv.Value)
+		}
+	}
+	return r, c
+}
+
+// matAtoms falls back to canonical field atoms expr.Rows / expr.Cols
+// for an untracked matrix-shaped expression.
+func (in *shapeInterp) matAtoms(e ast.Expr) (sdim, sdim) {
+	if !typeHasRowsCols(in.exprType(e)) {
+		return sdimUnknown, sdimUnknown
+	}
+	key, disp, ok := in.canonKey(e)
+	if !ok {
+		return sdimUnknown, sdimUnknown
+	}
+	return sdimTerm(key+".Rows", disp+".Rows"), sdimTerm(key+".Cols", disp+".Cols")
+}
+
+// canonAtom returns the canonical single-term dim for a pure path
+// expression (x, x.F, x.F[i], …).
+func (in *shapeInterp) canonAtom(e ast.Expr) sdim {
+	key, disp, ok := in.canonKey(e)
+	if !ok {
+		return sdimUnknown
+	}
+	return sdimTerm(key, disp)
+}
+
+// canonKey builds the canonical key of a side-effect-free path
+// expression rooted at a named object. Fails for killed roots (the
+// object was reassigned in a loop) and for unevaluable indices.
+func (in *shapeInterp) canonKey(e ast.Expr) (key, disp string, ok bool) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := in.identObj(e)
+		if obj == nil || in.killed[obj] {
+			return "", "", false
+		}
+		switch obj.(type) {
+		case *types.Var, *types.Const:
+			return objKey(obj), obj.Name(), true
+		}
+		return "", "", false
+	case *ast.SelectorExpr:
+		k, d, ok := in.canonKey(e.X)
+		if !ok {
+			return "", "", false
+		}
+		return k + "." + e.Sel.Name, d + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		k, d, ok := in.canonKey(e.X)
+		if !ok {
+			return "", "", false
+		}
+		idx := in.evalNum(e.Index)
+		if !idx.known {
+			return "", "", false
+		}
+		return k + "[" + idx.key() + "]", d + "[" + idx.render() + "]", true
+	case *ast.StarExpr:
+		k, d, ok := in.canonKey(e.X)
+		if !ok {
+			return "", "", false
+		}
+		return "deref(" + k + ")", "*" + d, true
+	}
+	return "", "", false
+}
+
+// isConversion reports whether call is a type conversion.
+func (in *shapeInterp) isConversion(call *ast.CallExpr) bool {
+	tv, ok := in.p.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func (in *shapeInterp) exprType(e ast.Expr) types.Type {
+	if tv, ok := in.p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Type predicates
+
+// typeHasRowsCols reports whether t (or *t) is a struct with integer
+// Rows and Cols fields — the structural definition of "matrix-shaped".
+func typeHasRowsCols(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var hasRows, hasCols bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !isIntType(f.Type()) {
+			continue
+		}
+		switch f.Name() {
+		case "Rows":
+			hasRows = true
+		case "Cols":
+			hasCols = true
+		}
+	}
+	return hasRows && hasCols
+}
+
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+// Sanctioned forms of what the module-scoped shape analyzer inspects:
+// fully proven contract calls (including under a transpose flag),
+// runtime-guarded calls, contract-seeded pass-through, and an exact
+// loop partition. This file must stay silent.
+package clean
+
+import "repro/internal/check"
+
+// shapeMat is structurally matrix-shaped for the shape analyzer.
+type shapeMat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// newShapeMat allocates an r×c matrix.
+//
+//lint:shape return=(r,c)
+func newShapeMat(r, c int) *shapeMat {
+	return &shapeMat{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// mulShape is a contracted multiply: c = op(a)·b.
+//
+//lint:shape a=(m,k) b=(k,n) c=(m,n) tA:swap=a
+func mulShape(tA bool, a, b, c *shapeMat) {
+	_, _, _, _ = tA, a, b, c
+}
+
+// axpyShape is a contracted level-1 op.
+//
+//lint:shape x=n y=n
+func axpyShape(x, y []float32) {
+	_, _ = x, y
+}
+
+// provenMul lines every dimension up, transpose flag included: op(a)
+// is 3×4, so k=4 matches b's rows and c is m×n = 3×6.
+func provenMul() {
+	a := newShapeMat(4, 3)
+	b := newShapeMat(4, 6)
+	c := newShapeMat(3, 6)
+	mulShape(true, a, b, c)
+}
+
+// guardedAxpy discharges the unprovable lengths with a dominating
+// runtime check.Dims guard.
+func guardedAxpy(x, y []float32) {
+	check.Dims("axpy", len(x), len(y))
+	axpyShape(x, y)
+}
+
+// passThrough proves via its own contract: g and d share the length
+// symbol n, so forwarding both satisfies axpyShape's contract.
+//
+//lint:shape g=n d=n
+func passThrough(g, d []float32) {
+	axpyShape(g, d)
+}
+
+// tiledViews is the sanctioned running-offset partition: each advance
+// equals the width of the sub-slice it follows.
+func tiledViews(sizes []int) []shapeMat {
+	total := 0
+	for _, s := range sizes {
+		total += s * s
+	}
+	flat := make([]float32, total)
+	out := make([]shapeMat, 0, len(sizes))
+	off := 0
+	for _, s := range sizes {
+		out = append(out, shapeMat{Rows: s, Cols: s, Data: flat[off : off+s*s]})
+		off += s * s
+	}
+	return out
+}

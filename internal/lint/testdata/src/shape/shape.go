@@ -1,0 +1,138 @@
+// Package shape seeds golden positions for the module-scoped shape
+// analyzer: provable contract mismatches (plain and under a transpose
+// flag), an unprovable-and-unguarded call, partition overlap/gap/
+// coverage errors, and malformed annotations. Sanctioned forms live in
+// the clean fixture.
+package shape
+
+import "repro/internal/check"
+
+// Mat is the local matrix shape (structurally matrix-shaped: integer
+// Rows/Cols fields).
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat allocates an r×c matrix.
+//
+//lint:shape return=(r,c)
+func NewMat(r, c int) *Mat {
+	return &Mat{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// Mul is contracted but NOT runtime-enforced: c = op(a)·b.
+//
+//lint:shape a=(m,k) b=(k,n) c=(m,n) tA:swap=a
+func Mul(tA bool, a, b, c *Mat) {
+	_, _, _, _ = tA, a, b, c
+}
+
+// AxpyLocal is a contracted, unenforced level-1 op.
+//
+//lint:shape x=n y=n
+func AxpyLocal(alpha float32, x, y []float32) {
+	_, _, _ = alpha, x, y
+}
+
+// DotLocal is contracted AND enforced: the panic guard discharges call
+// sites the analyzer cannot prove.
+//
+//lint:shape x=n y=n
+func DotLocal(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("shape: dot length mismatch")
+	}
+	var s float32
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// mismatchDims: the inner dimension provably disagrees (k binds to 4
+// from a's cols, b has 5 rows).
+func mismatchDims() {
+	a := NewMat(3, 4)
+	b := NewMat(5, 6)
+	c := NewMat(3, 6)
+	Mul(false, a, b, c)
+}
+
+// mismatchTranspose: under tA=true the op-shape of a is 4×3, so k is 3
+// and b's 4 rows provably disagree.
+func mismatchTranspose() {
+	a := NewMat(3, 4)
+	b := NewMat(4, 6)
+	c := NewMat(4, 6)
+	Mul(true, a, b, c)
+}
+
+// unprovable: the operand lengths come from opaque parameters,
+// AxpyLocal enforces nothing, and no guard dominates the call.
+func unprovable(x, y []float32) {
+	AxpyLocal(1, x, y)
+}
+
+// guarded: the same call under a dominating check.Dims is discharged.
+func guarded(x, y []float32) {
+	check.Dims("axpy", len(x), len(y))
+	AxpyLocal(1, x, y)
+}
+
+// enforcedCallee: DotLocal's own runtime guard is the proof.
+func enforcedCallee(x, y []float32) float32 {
+	return DotLocal(x, y)
+}
+
+// partitionOverlap: the offset advances 8 after a 12-wide sub-slice —
+// the next window re-reads 4 elements.
+func partitionOverlap() []float32 {
+	p := make([]float32, 24)
+	off := 0
+	a := p[off : off+12]
+	off += 8
+	b := p[off : off+12]
+	off += 12
+	_ = a
+	return b
+}
+
+// partitionGap: the offset advances 13 after a 12-wide sub-slice,
+// silently skipping one element.
+func partitionGap() []float32 {
+	p := make([]float32, 30)
+	off := 0
+	w := p[off : off+12]
+	off += 13
+	b := p[off : off+17]
+	off += 17
+	_ = w
+	return b
+}
+
+// partitionShort: adjacency is exact but the two sub-slices cover only
+// 32 of the 40 elements.
+func partitionShort() ([]float32, []float32) {
+	p := make([]float32, 40)
+	off := 0
+	a := p[off : off+16]
+	off += 16
+	b := p[off : off+16]
+	off += 16
+	return a, b
+}
+
+// BadContract carries an unparseable annotation.
+//
+//lint:shape a=(m,k b=(k,n)
+func BadContract(a, b *Mat) {
+	_, _ = a, b
+}
+
+// BadOperand names an operand that is not a parameter.
+//
+//lint:shape z=(m,k)
+func BadOperand(a *Mat) {
+	_ = a
+}

@@ -12,6 +12,8 @@ import (
 // under the softmax of the logits, plus the number of correctly classified
 // rows. Losses are sums (not means) so data-parallel workers can combine
 // them with a single Reduce and the master can normalize by total count.
+//
+//lint:shape logits=(b,c) targets=b
 func CrossEntropy(logits *tensor.Matrix, targets []int) (loss float64, correct int) {
 	if len(targets) != logits.Rows {
 		panic(fmt.Sprintf("nn: %d targets for %d rows", len(targets), logits.Rows))
@@ -45,7 +47,15 @@ func CrossEntropy(logits *tensor.Matrix, targets []int) (loss float64, correct i
 // LossGrad runs forward + backward over the batch for the cross-entropy
 // criterion and accumulates the summed-loss gradient into grad (+=).
 // It returns the summed loss and the number of correct classifications.
+//
+//lint:shape x=(b,d) targets=b
 func (n *Network) LossGrad(x *tensor.Matrix, targets []int, grad tensor.Vector) (loss float64, correct int) {
+	if len(targets) != x.Rows {
+		panic(fmt.Sprintf("nn: %d targets for %d rows", len(targets), x.Rows))
+	}
+	if len(grad) != n.NumParams() {
+		panic(fmt.Sprintf("nn: grad vector %d elements, want %d", len(grad), n.NumParams()))
+	}
 	f := n.Forward(x)
 	loss, correct = CrossEntropy(f.Logits, targets)
 	// dL/dlogits for summed softmax-CE: P - onehot(targets).

@@ -16,6 +16,8 @@ import (
 // Because the per-frame gradient of W_l is the outer product δ_i·a_j, the
 // summed square is Σ_n δ²_i a²_j = (Δ∘Δ)ᵀ(A∘A): one GEMM on elementwise
 // squares per layer, so the diagonal costs about as much as one gradient.
+//
+//lint:shape x=(b,d) targets=b
 func (n *Network) FisherDiag(x *tensor.Matrix, targets []int, out tensor.Vector) {
 	if len(out) != n.NumParams() {
 		panic(fmt.Sprintf("nn: FisherDiag vector %d elements, want %d", len(out), n.NumParams()))

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/check"
 	"repro/internal/tensor"
 )
 
@@ -50,7 +51,12 @@ func (n *Network) Forward(x *tensor.Matrix) *Forward {
 }
 
 // addBiasRows adds b to every row of z.
+//
+//lint:shape b=z.Cols
 func addBiasRows(z *tensor.Matrix, b tensor.Vector) {
+	if check.Enabled {
+		check.Dims("nn.addBiasRows.b", len(b), z.Cols)
+	}
 	for i := 0; i < z.Rows; i++ {
 		blas.Axpy(1, b, z.Row(i))
 	}
@@ -67,6 +73,8 @@ func sigmoidInPlace(z *tensor.Matrix) {
 }
 
 // Softmax returns row-wise softmax probabilities of the logits.
+//
+//lint:shape return=(logits.Rows,logits.Cols)
 func Softmax(logits *tensor.Matrix) *tensor.Matrix {
 	p := tensor.NewMatrix(logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {

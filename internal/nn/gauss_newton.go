@@ -22,6 +22,8 @@ import (
 // Hessian it is guaranteed positive semidefinite, which the HF inner CG
 // relies on. The product is summed over the batch rows; callers normalize
 // by the curvature-sample size.
+//
+//lint:shape v=n out=n
 func (n *Network) GNProduct(x *tensor.Matrix, v, out tensor.Vector) {
 	if len(v) != n.NumParams() || len(out) != n.NumParams() {
 		panic(fmt.Sprintf("nn: GNProduct vectors %d/%d elements, want %d", len(v), len(out), n.NumParams()))

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// randTopology draws a small random topology: 2-5 activation layers with
+// sizes in [1, 9]. Small odd sizes exercise the partition arithmetic far
+// harder than the paper's uniform 1024-wide layers.
+func randTopology(rng *rand.Rand) Topology {
+	sizes := make([]int, 2+rng.Intn(4))
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(9)
+	}
+	return NewTopology(sizes...)
+}
+
+// TestViewsPartitionProperty checks, over random topologies, that Views
+// carves the flat vector into an exact partition: every view aliases the
+// expected contiguous range, consecutive ranges are adjacent (no gap, no
+// overlap), and the ranges cover NumParams exactly. It writes a distinct
+// marker through each view and reads the flat buffer back, so any offset
+// error shows up as a misplaced or clobbered marker.
+func TestViewsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		topo := randTopology(rng)
+		flat := tensor.NewVector(topo.NumParams())
+		weights, biases := topo.Views(flat)
+		if len(weights) != topo.NumLayers() || len(biases) != topo.NumLayers() {
+			t.Fatalf("topology %v: %d weight / %d bias views, want %d", topo.Sizes, len(weights), len(biases), topo.NumLayers())
+		}
+		// Write a distinct marker through every view element.
+		marker := float32(1)
+		for l := range weights {
+			w, b := weights[l], biases[l]
+			if w.Rows != topo.Sizes[l+1] || w.Cols != topo.Sizes[l] {
+				t.Fatalf("topology %v layer %d: weight view %d×%d, want %d×%d", topo.Sizes, l, w.Rows, w.Cols, topo.Sizes[l+1], topo.Sizes[l])
+			}
+			if len(b) != topo.Sizes[l+1] {
+				t.Fatalf("topology %v layer %d: bias view len %d, want %d", topo.Sizes, l, len(b), topo.Sizes[l+1])
+			}
+			for i := range w.Data {
+				w.Data[i] = marker
+				marker++
+			}
+			for i := range b {
+				b[i] = marker
+				marker++
+			}
+		}
+		// The markers must appear in flat in order with no gap (a zero
+		// left behind), no overlap (a marker overwritten), and full
+		// coverage (marker count == NumParams).
+		if int(marker)-1 != topo.NumParams() {
+			t.Fatalf("topology %v: views hold %d elements, want %d", topo.Sizes, int(marker)-1, topo.NumParams())
+		}
+		for i, v := range flat {
+			if v != float32(i+1) {
+				t.Fatalf("topology %v: flat[%d] = %v, want %v (offset error in Views)", topo.Sizes, i, v, i+1)
+			}
+		}
+	}
+}
+
+// TestBufferContractsProperty runs forward, backprop and the Gauss-Newton
+// product over random topologies and batch sizes, asserting every buffer
+// dimension agrees with the shape contracts the analyzer checks statically.
+func TestBufferContractsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		topo := randTopology(rng)
+		n := New(topo)
+		n.InitGlorot(rand.New(rand.NewSource(int64(trial))))
+		batch := 1 + rng.Intn(6)
+		x := tensor.RandMatrix(rng, batch, topo.InputDim(), 1)
+		targets := make([]int, batch)
+		for i := range targets {
+			targets[i] = rng.Intn(topo.OutputDim())
+		}
+
+		f := n.Forward(x)
+		if f.Logits.Rows != batch || f.Logits.Cols != topo.OutputDim() {
+			t.Fatalf("topology %v batch %d: logits %d×%d, want %d×%d", topo.Sizes, batch, f.Logits.Rows, f.Logits.Cols, batch, topo.OutputDim())
+		}
+		if len(f.Hidden) != topo.NumLayers()-1 {
+			t.Fatalf("topology %v: %d hidden activations, want %d", topo.Sizes, len(f.Hidden), topo.NumLayers()-1)
+		}
+		for l, h := range f.Hidden {
+			if h.Rows != batch || h.Cols != topo.Sizes[l+1] {
+				t.Fatalf("topology %v layer %d: hidden %d×%d, want %d×%d", topo.Sizes, l, h.Rows, h.Cols, batch, topo.Sizes[l+1])
+			}
+		}
+
+		p := Softmax(f.Logits)
+		if p.Rows != f.Logits.Rows || p.Cols != f.Logits.Cols {
+			t.Fatalf("topology %v: softmax %d×%d, want %d×%d", topo.Sizes, p.Rows, p.Cols, f.Logits.Rows, f.Logits.Cols)
+		}
+
+		grad := tensor.NewVector(n.NumParams())
+		loss, correct := n.LossGrad(x, targets, grad)
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatalf("topology %v: non-finite loss %v", topo.Sizes, loss)
+		}
+		if correct < 0 || correct > batch {
+			t.Fatalf("topology %v: correct = %d out of %d", topo.Sizes, correct, batch)
+		}
+		for i, v := range grad {
+			if math.IsNaN(float64(v)) {
+				t.Fatalf("topology %v: grad[%d] is NaN", topo.Sizes, i)
+			}
+		}
+
+		v := tensor.RandVector(rng, n.NumParams(), 1)
+		out := tensor.NewVector(n.NumParams())
+		n.GNProduct(x, v, out)
+		for i, gv := range out {
+			if math.IsNaN(float64(gv)) {
+				t.Fatalf("topology %v: GNProduct out[%d] is NaN", topo.Sizes, i)
+			}
+		}
+	}
+}
+
+// LossGrad used to defer its length checking to whatever downstream code
+// happened to index out of range; it now fails fast with explicit guards.
+func TestLossGradTargetsLengthPanics(t *testing.T) {
+	n := testNet(t, 3, 4, 2)
+	x := tensor.NewMatrix(2, 3)
+	grad := tensor.NewVector(n.NumParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: 1 target for 2 rows")
+		}
+	}()
+	n.LossGrad(x, []int{0}, grad)
+}
+
+func TestLossGradGradLengthPanics(t *testing.T) {
+	n := testNet(t, 3, 4, 2)
+	x := tensor.NewMatrix(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: short grad vector")
+		}
+	}()
+	n.LossGrad(x, []int{0, 1}, tensor.NewVector(n.NumParams()-1))
+}

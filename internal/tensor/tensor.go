@@ -23,6 +23,8 @@ type Matrix struct {
 }
 
 // NewMatrix returns a zeroed r×c compact matrix.
+//
+//lint:shape return=(r,c)
 func NewMatrix(r, c int) *Matrix {
 	if r < 0 || c < 0 {
 		panic(fmt.Sprintf("tensor: invalid dimensions %d×%d", r, c))
@@ -32,6 +34,8 @@ func NewMatrix(r, c int) *Matrix {
 
 // FromSlice returns an r×c matrix whose backing array is data, which must
 // hold exactly r*c elements. The matrix shares storage with data.
+//
+//lint:shape data=r*c return=(r,c)
 func FromSlice(r, c int, data []float32) *Matrix {
 	if len(data) != r*c {
 		panic(fmt.Sprintf("tensor: FromSlice needs %d elements, got %d", r*c, len(data)))
@@ -58,6 +62,8 @@ func (m *Matrix) checkIndex(i, j int) {
 }
 
 // Row returns row i as a slice sharing storage with the matrix.
+//
+//lint:shape return=m.Cols
 func (m *Matrix) Row(i int) []float32 {
 	if i < 0 || i >= m.Rows {
 		panic(fmt.Sprintf("tensor: row %d out of range %d", i, m.Rows))
@@ -67,6 +73,8 @@ func (m *Matrix) Row(i int) []float32 {
 
 // View returns the r×c submatrix whose top-left corner is (i, j). The view
 // shares storage with m.
+//
+//lint:shape return=(r,c)
 func (m *Matrix) View(i, j, r, c int) *Matrix {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
 		panic(fmt.Sprintf("tensor: view (%d,%d,%d,%d) out of range %d×%d", i, j, r, c, m.Rows, m.Cols))
@@ -75,6 +83,8 @@ func (m *Matrix) View(i, j, r, c int) *Matrix {
 }
 
 // Clone returns a compact deep copy of m.
+//
+//lint:shape return=(m.Rows,m.Cols)
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
@@ -84,6 +94,8 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // CopyFrom copies the contents of src into m. Dimensions must match.
+//
+//lint:shape m=(r,c) src=(r,c)
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("tensor: copy %d×%d into %d×%d", src.Rows, src.Cols, m.Rows, m.Cols))
@@ -117,6 +129,8 @@ func (m *Matrix) Scale(alpha float32) {
 }
 
 // T returns a compact transposed copy of m.
+//
+//lint:shape return=(m.Cols,m.Rows)
 func (m *Matrix) T() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {

@@ -10,9 +10,13 @@ import (
 type Vector []float32
 
 // NewVector returns a zeroed vector of length n.
+//
+//lint:shape return=n
 func NewVector(n int) Vector { return make(Vector, n) }
 
 // Clone returns a deep copy of v.
+//
+//lint:shape v=n return=n
 func (v Vector) Clone() Vector {
 	out := make(Vector, len(v))
 	copy(out, v)
@@ -42,6 +46,8 @@ func (v Vector) Scale(alpha float32) {
 
 // AddScaled performs v += alpha*u in place. The vectors must have the same
 // length.
+//
+//lint:shape v=n u=n
 func (v Vector) AddScaled(alpha float32, u Vector) {
 	if len(v) != len(u) {
 		panic(fmt.Sprintf("tensor: AddScaled length mismatch %d vs %d", len(v), len(u)))
@@ -53,6 +59,8 @@ func (v Vector) AddScaled(alpha float32, u Vector) {
 
 // Dot returns the inner product of v and u accumulated in float64 for
 // stability; the optimizer's CG recurrences depend on accurate dot products.
+//
+//lint:shape v=n u=n
 func (v Vector) Dot(u Vector) float64 {
 	if len(v) != len(u) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(v), len(u)))
