@@ -1,4 +1,4 @@
-.PHONY: verify lint commcheck numcheck p2pcheck shapecheck faultcheck obscheck alloccheck determinism race race-mpi test bench bench_obs bench_fault bench_alloc
+.PHONY: verify lint commcheck numcheck p2pcheck shapecheck faultcheck obscheck alloccheck servecheck determinism race race-mpi test bench bench_obs bench_fault bench_alloc bench_serve
 
 # Full gate: compile, vet, the repo-specific static analyzers (including
 # the collective-protocol checker, the point-to-point protocol family —
@@ -12,7 +12,7 @@
 # leans on), the compiler-truth allocation and bounds-check gates on the
 # hot paths, and the bit-reproducible replay gate on both fabrics.
 verify:
-	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/blas ./internal/nn ./internal/hf ./internal/core && $(MAKE) shapecheck && $(MAKE) p2pcheck && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) alloccheck && $(MAKE) determinism
+	go build ./... && go vet ./... && go run ./cmd/repolint && go test -race ./... && go test -tags commcheck ./internal/mpi ./internal/core && go test -tags checkinvariants ./internal/check ./internal/blas ./internal/nn ./internal/hf ./internal/core && $(MAKE) shapecheck && $(MAKE) p2pcheck && $(MAKE) faultcheck && $(MAKE) obscheck && $(MAKE) alloccheck && $(MAKE) servecheck && $(MAKE) determinism
 
 # Repo-specific static analysis: unchecked mpi.Comm/IO errors, float
 # equality, locks copied by value, allocations in //lint:hotpath kernels,
@@ -85,8 +85,19 @@ obscheck:
 # baseline. See DESIGN.md, "Concurrency & allocation gates".
 alloccheck:
 	go run ./cmd/repolint -only escape,bce
-	go test -run TestZeroAlloc ./internal/blas ./internal/hf
+	go test -run TestZeroAlloc ./internal/blas ./internal/hf ./internal/nn ./internal/serve
 	go test -bench BenchmarkAllocGate -benchtime 1x -run '^$$' .
+
+# Serving-runtime gate: the deprecated-API analyzer (retired training
+# entry points must not resurface behind the serving surface), the serve
+# and shared-inference suites under the race detector (batcher flush
+# rules, shed-before-enqueue, graceful drain, replica sharding, the
+# end-to-end train→checkpoint→HTTP bit-for-bit test), and the zero-alloc
+# probes on the batched forward path. See DESIGN.md, "Serving runtime".
+servecheck:
+	go run ./cmd/repolint -only deprecatedapi
+	go test -race ./internal/serve/...
+	go test -race -run 'TestForwardInto|TestInferBuffers|TestSoftmaxInto|TestZeroAlloc' ./internal/nn
 
 # Bit-reproducible replay gate: train the same seeded problem twice on
 # each fabric and require byte-identical per-iteration FNV hash streams
@@ -132,3 +143,10 @@ bench_fault:
 # and fails if any case regressed past the recorded baseline.
 bench_alloc:
 	go test -bench BenchmarkAllocGate -benchtime 1x -run '^$$' .
+
+# Closed-loop serving load test: p50/p99 latency, throughput, and the
+# batch-size distribution per concurrency level; rewrites
+# BENCH_serve.json and fails if throughput fell past the recorded
+# baseline margin.
+bench_serve:
+	go test -bench BenchmarkServe -benchtime 1x -run '^$$' .

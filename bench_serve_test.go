@@ -1,0 +1,184 @@
+package repro
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+)
+
+// serveGateFactor is how far BenchmarkServe throughput may fall below
+// the recorded BENCH_serve.json baseline before the gate fails. Serving
+// throughput is wall-clock (scheduler, machine load), so the margin is
+// generous; a structural regression — a lost batch coalesce, an
+// allocation storm on the score path — costs integer multiples and
+// still trips it.
+const serveGateFactor = 4.0
+
+// serveStat is one BENCH_serve.json record: the closed-loop latency and
+// throughput curve plus the batch-size distribution behind it.
+type serveStat struct {
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ReqPerSec     float64 `json:"req_per_sec"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	MeanNs        int64   `json:"mean_ns"`
+	MeanBatchRows float64 `json:"mean_batch_rows"`
+	MaxBatchRows  int64   `json:"max_batch_rows"`
+	Batches       int64   `json:"batches"`
+	Shed          int64   `json:"shed"`
+}
+
+// BenchmarkServe holds the serving runtime to its latency/throughput
+// curve: closed-loop clients (each waits for its reply before issuing
+// the next request, so offered load tracks capacity) against one
+// in-process server per scenario, plus the same workload through the
+// HTTP surface. Results are written to BENCH_serve.json and gated
+// against the checked-in baseline.
+func BenchmarkServe(b *testing.B) {
+	const inDim, outDim = 40, 32
+	net := nn.New(nn.NewTopology(inDim, 128, 64, outDim))
+	net.InitGlorot(rand.New(rand.NewSource(17)))
+	ck := &core.Checkpoint{
+		Sizes:     net.Topo.Sizes,
+		Params:    net.Params.Clone(),
+		Criterion: core.CrossEntropy,
+	}
+
+	newServer := func(b *testing.B) (*serve.Server, *obs.Registry) {
+		b.Helper()
+		ob := &obs.Observer{Metrics: obs.NewRegistry()}
+		srv, err := serve.New(ck,
+			serve.WithMaxBatch(32),
+			serve.WithBatchWindow(500*time.Microsecond),
+			serve.WithQueueDepth(256),
+			serve.WithWorkers(2),
+			serve.WithObserver(ob))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv, ob.Registry()
+	}
+	record := func(res loadgen.Result, reg *obs.Registry) serveStat {
+		rows := reg.Histogram("serve.batch_rows")
+		return serveStat{
+			Requests:      res.Requests,
+			Errors:        res.Errors,
+			ReqPerSec:     res.Throughput,
+			P50Ns:         res.P50.Nanoseconds(),
+			P99Ns:         res.P99.Nanoseconds(),
+			MeanNs:        res.Mean.Nanoseconds(),
+			MeanBatchRows: rows.Mean(),
+			MaxBatchRows:  rows.Max(),
+			Batches:       reg.Counter("serve.batches").Value(),
+			Shed:          reg.Counter("serve.shed").Value(),
+		}
+	}
+
+	results := map[string]serveStat{}
+	scenarios := []struct {
+		name        string
+		concurrency int
+	}{
+		{"closed_loop_c1", 1},
+		{"closed_loop_c8", 8},
+		{"closed_loop_c32", 32},
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				srv, reg := newServer(b)
+				res := loadgen.Run(loadgen.Config{
+					Concurrency: sc.concurrency,
+					Requests:    1500,
+					InputDim:    inDim,
+					OutputDim:   outDim,
+					Seed:        9,
+				}, srv.Score)
+				if err := srv.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if res.Errors != 0 {
+					b.Fatalf("%d closed-loop requests failed", res.Errors)
+				}
+				st := record(res, reg)
+				results[sc.name] = st
+				b.ReportMetric(st.ReqPerSec, "req/s")
+				b.ReportMetric(float64(st.P99Ns)/1e3, "p99-µs")
+				b.ReportMetric(st.MeanBatchRows, "rows/batch")
+			}
+		})
+	}
+	b.Run("http_c8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srv, reg := newServer(b)
+			ts := httptest.NewServer(srv.Handler())
+			res := loadgen.Run(loadgen.Config{
+				Concurrency: 8,
+				Requests:    600,
+				InputDim:    inDim,
+				OutputDim:   outDim,
+				Seed:        9,
+			}, loadgen.HTTPTarget(ts.Client(), ts.URL))
+			ts.Close()
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if res.Errors != 0 {
+				b.Fatalf("%d HTTP requests failed", res.Errors)
+			}
+			st := record(res, reg)
+			results["http_c8"] = st
+			b.ReportMetric(st.ReqPerSec, "req/s")
+			b.ReportMetric(float64(st.P99Ns)/1e3, "p99-µs")
+		}
+	})
+
+	if len(results) < len(scenarios)+1 {
+		return // sub-benchmark filtered out; don't rewrite a partial baseline
+	}
+	baseline, haveBaseline := readServeBaseline()
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if !haveBaseline {
+		return
+	}
+	for name, got := range results {
+		prev, ok := baseline[name]
+		if !ok || prev.ReqPerSec <= 0 {
+			continue // new case: its first run records the baseline
+		}
+		if floor := prev.ReqPerSec / serveGateFactor; got.ReqPerSec < floor {
+			b.Errorf("%s: %.0f req/s fell past baseline %.0f / %.0f margin",
+				name, got.ReqPerSec, prev.ReqPerSec, serveGateFactor)
+		}
+	}
+}
+
+// readServeBaseline loads the per-scenario results of the previous
+// BenchmarkServe run, if any.
+func readServeBaseline() (map[string]serveStat, bool) {
+	data, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		return nil, false
+	}
+	var prev map[string]serveStat
+	if json.Unmarshal(data, &prev) != nil {
+		return nil, false
+	}
+	return prev, true
+}

@@ -58,6 +58,11 @@ type Config struct {
 	MC      int // rows of A packed per block; <=0 means default
 	KC      int // depth of packed panels; <=0 means default
 	NC      int // columns of B packed per block; <=0 means default
+	// Workspace, when non-nil, supplies reusable packing panels and pins
+	// the implementation to the single-threaded blocked path (a
+	// workspace serves one goroutine); calls are then allocation-free at
+	// steady state. Explicitly selecting Parallel ignores it.
+	Workspace *Workspace
 }
 
 // Default block sizes, sized for typical L1/L2 footprints: an MR×KC strip
@@ -119,13 +124,19 @@ func GemmWith(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matrix, 
 
 	impl := cfg.Impl
 	if impl == Auto {
-		// Small problems do not amortize packing or goroutine startup.
-		flops := 2 * float64(m) * float64(n) * float64(k)
-		switch {
-		case flops < 64*64*64*2:
+		if cfg.Workspace != nil {
+			// A workspace serves one goroutine, so it pins the
+			// single-threaded blocked path.
 			impl = Blocked
-		default:
-			impl = Parallel
+		} else {
+			// Small problems do not amortize packing or goroutine startup.
+			flops := 2 * float64(m) * float64(n) * float64(k)
+			switch {
+			case flops < 64*64*64*2:
+				impl = Blocked
+			default:
+				impl = Parallel
+			}
 		}
 	}
 	switch impl {

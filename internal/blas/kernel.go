@@ -28,7 +28,6 @@ func gemmBlocked(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matri
 	}
 
 	mc, kc, nc := cfg.MC, cfg.KC, cfg.NC
-	bbuf := make([]float32, kc*roundUp(nc, nr))
 	nWorkers := threads
 	if blocks := (m + mc - 1) / mc; nWorkers > blocks {
 		nWorkers = blocks
@@ -36,9 +35,18 @@ func gemmBlocked(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matri
 	if nWorkers < 1 {
 		nWorkers = 1
 	}
-	abufs := make([][]float32, nWorkers)
-	for w := range abufs {
-		abufs[w] = make([]float32, roundUp(mc, mr)*kc)
+	var abufs [][]float32
+	var bbuf []float32
+	if ws := cfg.Workspace; ws != nil && nWorkers == 1 {
+		// Caller-owned panels: no per-call allocation once the workspace
+		// has grown to the largest product it serves.
+		abufs, bbuf = ws.panels(mc, kc, nc, m, k, n)
+	} else {
+		bbuf = make([]float32, kc*roundUp(nc, nr))
+		abufs = make([][]float32, nWorkers)
+		for w := range abufs {
+			abufs[w] = make([]float32, roundUp(mc, mr)*kc)
+		}
 	}
 
 	for jc := 0; jc < n; jc += nc {
@@ -62,14 +70,18 @@ func gemmBlocked(cfg Config, tA, tB Transpose, alpha float32, a, b *tensor.Matri
 			blockCh := make(chan int)
 			for w := 0; w < nWorkers; w++ {
 				wg.Add(1)
-				go func(abuf []float32) {
+				// Loop-varying state rides in as parameters, not captures:
+				// a captured loop variable is heap-allocated per iteration,
+				// which would charge the single-worker path (it shares this
+				// loop) with allocations for goroutines it never launches.
+				go func(abuf, bpanel []float32, pc, jc, kcb, ncb int) {
 					defer wg.Done()
 					for ic := range blockCh {
 						mcb := min(mc, m-ic)
 						packA(a, tA, ic, pc, mcb, kcb, abuf)
-						macroKernel(abuf, bbuf, c, ic, jc, mcb, ncb, kcb, alpha)
+						macroKernel(abuf, bpanel, c, ic, jc, mcb, ncb, kcb, alpha)
 					}
-				}(abufs[w])
+				}(abufs[w], bbuf, pc, jc, kcb, ncb)
 			}
 			for ic := 0; ic < m; ic += mc {
 				blockCh <- ic

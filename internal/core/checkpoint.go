@@ -47,6 +47,44 @@ type Checkpoint struct {
 // checkpointMagic guards against decoding unrelated gob streams.
 const checkpointMagic = "repro-hf-checkpoint-v1"
 
+// Bounds a decoded checkpoint's declared topology must respect before
+// anything trusts it: nn.NewTopology panics on non-positive sizes, and
+// unbounded dimensions could overflow the parameter-count arithmetic.
+// Both are far above any model this codebase trains.
+const (
+	maxCheckpointLayers = 1024
+	maxCheckpointDim    = 1 << 20
+)
+
+// Validate checks the checkpoint's topology and parameter counts,
+// returning an error (never panicking) on hostile or corrupt contents —
+// the contract FuzzReadCheckpoint locks in. Consumers that rebuild a
+// network from an untrusted checkpoint (ReadCheckpoint, serve.New) call
+// it before touching nn.
+func (ck *Checkpoint) Validate() error {
+	if len(ck.Sizes) < 2 {
+		return fmt.Errorf("core: checkpoint topology %v invalid", ck.Sizes)
+	}
+	if len(ck.Sizes)-1 > maxCheckpointLayers {
+		return fmt.Errorf("core: checkpoint declares %d layers, limit %d", len(ck.Sizes)-1, maxCheckpointLayers)
+	}
+	for _, s := range ck.Sizes {
+		if s <= 0 || s > maxCheckpointDim {
+			return fmt.Errorf("core: checkpoint layer size %d outside [1, %d]", s, maxCheckpointDim)
+		}
+	}
+	topo := nn.NewTopology(ck.Sizes...)
+	if len(ck.Params) != topo.NumParams() {
+		return fmt.Errorf("core: checkpoint has %d params, topology %v needs %d",
+			len(ck.Params), ck.Sizes, topo.NumParams())
+	}
+	if ck.Dir != nil && len(ck.Dir) != topo.NumParams() {
+		return fmt.Errorf("core: checkpoint warm-start direction has %d params, topology %v needs %d",
+			len(ck.Dir), ck.Sizes, topo.NumParams())
+	}
+	return nil
+}
+
 // WriteCheckpoint serializes a checkpoint to w.
 func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
 	topo := nn.NewTopology(ck.Sizes...)
@@ -78,13 +116,8 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := dec.Decode(&ck); err != nil {
 		return nil, fmt.Errorf("core: read checkpoint: %w", err)
 	}
-	if len(ck.Sizes) < 2 {
-		return nil, fmt.Errorf("core: checkpoint topology %v invalid", ck.Sizes)
-	}
-	topo := nn.NewTopology(ck.Sizes...)
-	if len(ck.Params) != topo.NumParams() {
-		return nil, fmt.Errorf("core: checkpoint has %d params, topology needs %d",
-			len(ck.Params), topo.NumParams())
+	if err := ck.Validate(); err != nil {
+		return nil, err
 	}
 	return &ck, nil
 }

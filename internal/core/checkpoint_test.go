@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
 
@@ -85,6 +86,101 @@ func TestCheckpointValidatesShape(t *testing.T) {
 	if err := WriteCheckpoint(&buf, bad); err == nil {
 		t.Fatal("shape mismatch accepted on write")
 	}
+}
+
+// encodeRawCheckpoint gob-encodes a checkpoint under the real magic
+// WITHOUT WriteCheckpoint's validation, so tests can craft streams whose
+// contents are well-formed gob but semantically hostile.
+func encodeRawCheckpoint(t *testing.T, ck *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(checkpointMagic); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(ck); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A truncated stream — cut anywhere, header or body — must surface as an
+// error from ReadCheckpoint, never a panic or a half-decoded checkpoint.
+func TestCheckpointTruncatedStream(t *testing.T) {
+	ck := &Checkpoint{Sizes: []int{3, 4, 2}, Params: make(tensor.Vector, 3*4+4+4*2+2)}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	for _, cut := range []int{0, 1, 5, 10, len(wire) / 2, len(wire) - 1} {
+		if _, err := ReadCheckpoint(bytes.NewReader(wire[:cut])); err == nil {
+			t.Errorf("stream truncated at %d/%d bytes accepted", cut, len(wire))
+		}
+	}
+}
+
+// Dimension lies a well-formed gob stream can tell: parameter vectors
+// that disagree with the declared topology, non-positive layer sizes
+// (which nn.NewTopology would panic on — ReadCheckpoint must error
+// first), absurd dimensions, and a stale warm-start direction.
+func TestCheckpointDimensionMismatch(t *testing.T) {
+	cases := []struct {
+		name string
+		ck   *Checkpoint
+	}{
+		{"params short", &Checkpoint{Sizes: []int{3, 2}, Params: make(tensor.Vector, 5)}},
+		{"params long", &Checkpoint{Sizes: []int{3, 2}, Params: make(tensor.Vector, 9)}},
+		{"zero layer size", &Checkpoint{Sizes: []int{0, 5}, Params: make(tensor.Vector, 5)}},
+		{"negative layer size", &Checkpoint{Sizes: []int{3, -2}, Params: nil}},
+		{"one layer", &Checkpoint{Sizes: []int{7}, Params: make(tensor.Vector, 7)}},
+		{"huge dimension", &Checkpoint{Sizes: []int{1 << 30, 2}, Params: nil}},
+		{"dir mismatch", &Checkpoint{Sizes: []int{3, 2}, Params: make(tensor.Vector, 8), Dir: make(tensor.Vector, 3)}},
+	}
+	for _, tc := range cases {
+		wire := encodeRawCheckpoint(t, tc.ck)
+		ck, err := ReadCheckpoint(bytes.NewReader(wire))
+		if err == nil {
+			t.Errorf("%s: accepted as %+v", tc.name, ck)
+		}
+	}
+}
+
+// FuzzReadCheckpoint mirrors mpi's FuzzReadFrame for the checkpoint
+// decoder: arbitrary byte streams must never panic it, and anything it
+// accepts must satisfy the same Validate contract serve.New relies on.
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := &Checkpoint{Sizes: []int{3, 4, 2}, Params: make(tensor.Vector, 3*4+4+4*2+2)}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	wire := buf.Bytes()
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint at all"))
+	f.Add(wire)
+	f.Add(wire[:len(wire)/2])
+	flipped := append([]byte(nil), wire...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+	var raw bytes.Buffer
+	enc := gob.NewEncoder(&raw)
+	if err := enc.Encode(checkpointMagic); err != nil {
+		f.Fatal(err)
+	}
+	if err := enc.Encode(&Checkpoint{Sizes: []int{0, 1 << 30}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := ck.Validate(); verr != nil {
+			t.Fatalf("accepted checkpoint fails Validate: %v", verr)
+		}
+	})
 }
 
 func TestLoadCheckpointMissingFile(t *testing.T) {

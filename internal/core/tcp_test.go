@@ -106,21 +106,6 @@ func TestWorkerRejectsMalformedShard(t *testing.T) {
 	}
 }
 
-// The deprecated Run{Master,Worker} shims keep their historical contract:
-// calling them on the wrong rank is an error (the Session API instead
-// dispatches on rank, so this check lives only in the shims).
-func TestRunMasterOnWorkerRankFails(t *testing.T) {
-	fabric := mpi.NewInprocFabric(2)
-	defer fabric.Close()
-	p := testProblem(t, CrossEntropy)
-	if _, err := RunMaster(mpi.NewComm(fabric.Transport(1)), p, fastHF(), nil); err == nil {
-		t.Fatal("RunMaster on rank 1 must fail")
-	}
-	if err := RunWorker(mpi.NewComm(fabric.Transport(0))); err == nil {
-		t.Fatal("RunWorker on rank 0 must fail")
-	}
-}
-
 // Failure injection: a worker that dies after load_data must surface as a
 // master error, not a hang — the fabric's peer-down detection reaching
 // the training layer.

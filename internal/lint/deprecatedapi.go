@@ -2,18 +2,18 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
 )
 
-// DeprecatedAPI flags uses of the superseded distributed-training entry
-// points in internal/core. The old surface was a five-way cross-product —
+// DeprecatedAPI polices the retired distributed-training entry-point
+// names. The old surface was a five-way cross-product —
 // TrainDistributedHF{,Obs,Checked,TCP,TCPChecked} for spawn-mode runs and
 // Run{Master,Worker}{,Obs} for caller-owned ranks — that forced every new
 // orthogonal capability (observability, protocol checking, transport
 // choice, fault tolerance) to multiply the API. core.NewSession with
-// options replaces all of them; the old names survive only as deprecation
-// shims inside internal/core, which is the one package this analyzer
-// does not inspect.
+// options replaced all of them, and the shims have since been deleted, so
+// the analyzer matches purely by identifier name: any occurrence — a
+// call, a reference, or a re-declaration that would resurrect a name, in
+// any package including internal/core itself — is an error.
 type DeprecatedAPI struct{}
 
 // Name implements Analyzer.
@@ -21,13 +21,14 @@ func (DeprecatedAPI) Name() string { return "deprecatedapi" }
 
 // Doc implements Analyzer.
 func (DeprecatedAPI) Doc() string {
-	return "call to a deprecated core training entry point; " +
-		"build a core.NewSession with options (WithRanks/WithFabric/WithComm/" +
-		"WithObserver/WithCheck/WithFaults) and call Run instead"
+	return "occurrence of a retired core training entry-point name " +
+		"(TrainDistributedHF*, Run{Master,Worker}*); the shims are deleted and the " +
+		"names reserved — build a core.NewSession with options (WithRanks/WithFabric/" +
+		"WithComm/WithObserver/WithCheck/WithFaults) and call Run instead"
 }
 
-// deprecatedCoreFuncs maps each shimmed entry point to the option spelling
-// that replaces it, quoted in the finding message.
+// deprecatedCoreFuncs maps each retired entry-point name to the option
+// spelling that replaces it, quoted in the finding message.
 var deprecatedCoreFuncs = map[string]string{
 	"TrainDistributedHF":           "core.NewSession(p, core.WithRanks(n))",
 	"TrainDistributedHFObs":        "core.NewSession with core.WithObserver",
@@ -40,14 +41,8 @@ var deprecatedCoreFuncs = map[string]string{
 	"RunWorkerObs":                 "core.NewSession with core.WithComm and core.WithObserver",
 }
 
-// coreImportPath is the package whose deprecated surface is policed.
-const coreImportPath = "repro/internal/core"
-
 // Run implements Analyzer.
 func (d DeprecatedAPI) Run(p *Package) []Finding {
-	if p.ImportPath == coreImportPath {
-		return nil // the deprecation shims themselves live here
-	}
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -55,16 +50,22 @@ func (d DeprecatedAPI) Run(p *Package) []Finding {
 			if !ok {
 				return true
 			}
-			fn, ok := p.Info.Uses[id].(*types.Func)
-			if !ok || pkgPath(fn) != coreImportPath {
+			repl, retired := deprecatedCoreFuncs[id.Name]
+			if !retired {
 				return true
 			}
-			repl, deprecated := deprecatedCoreFuncs[fn.Name()]
-			if !deprecated {
+			// Purely name-based: a declaration resurrects the name, a use
+			// calls or references whatever carries it. Either way the name
+			// itself is the violation.
+			if obj := p.Info.Defs[id]; obj != nil {
+				out = append(out, p.finding(d, SevError, id,
+					"%s re-declares a retired core entry-point name; use %s", id.Name, repl))
 				return true
 			}
-			out = append(out, p.finding(d, SevError, id,
-				"core.%s is deprecated; use %s", fn.Name(), repl))
+			if obj := p.Info.Uses[id]; obj != nil {
+				out = append(out, p.finding(d, SevError, id,
+					"%s is a retired core entry point; use %s", id.Name, repl))
+			}
 			return true
 		})
 	}

@@ -135,10 +135,10 @@ func TestFixtureFindings(t *testing.T) {
 			"32:9 divguard warn", // denominator under math.Abs
 		},
 		"deprecatedapi.go": {
-			"14:20 deprecatedapi error", // TrainDistributedHF
-			"17:20 deprecatedapi error", // TrainDistributedHFObs
-			"20:17 deprecatedapi error", // TrainDistributedHFTCP
-			"25:14 deprecatedapi error", // RunWorker
+			"15:6 deprecatedapi error",  // func TrainDistributedHF re-declaration
+			"24:6 deprecatedapi error",  // func RunWorker re-declaration
+			"30:12 deprecatedapi error", // call to TrainDistributedHF
+			"33:9 deprecatedapi error",  // call to RunWorker
 		},
 		"goroutineleak.go": {
 			"16:2 goroutineleak warn", // for{} with no exit in a func literal

@@ -1,28 +1,36 @@
-// Package deprecatedapi is a lint fixture seeding calls to the
-// superseded five-way core training entry points, alongside the
-// sanctioned Session form that must stay silent.
+// Package deprecatedapi is a lint fixture seeding occurrences of the
+// retired core training entry-point names. The shims no longer exist in
+// internal/core, so the analyzer matches by name alone: local
+// re-declarations that would resurrect a name are flagged, and so are
+// calls to them — alongside the sanctioned Session form, which must
+// stay silent.
 package deprecatedapi
 
 import (
 	"repro/internal/core"
 	"repro/internal/hf"
 	"repro/internal/mpi"
-	"repro/internal/obs"
 )
 
-func legacySpawn(p core.Problem, cfg hf.Config, ob *obs.Observer) error {
-	if _, err := core.TrainDistributedHF(p, cfg, 4, nil); err != nil { // want: deprecated
+func TrainDistributedHF(p core.Problem, cfg hf.Config, ranks int) error { // want: re-declaration
+	sess, err := core.NewSession(p, core.WithRanks(ranks))
+	if err != nil {
 		return err
 	}
-	if _, err := core.TrainDistributedHFObs(p, cfg, 4, nil, ob); err != nil { // want: deprecated
-		return err
-	}
-	_, err := core.TrainDistributedHFTCP(p, cfg, 4, nil, ob) // want: deprecated
+	_, err = sess.Run(cfg)
 	return err
 }
 
-func legacyAttach(comm *mpi.Comm) error {
-	return core.RunWorker(comm) // want: deprecated
+func RunWorker(comm *mpi.Comm) error { // want: re-declaration
+	_ = comm
+	return nil
+}
+
+func legacyCallers(p core.Problem, cfg hf.Config, comm *mpi.Comm) error {
+	if err := TrainDistributedHF(p, cfg, 4); err != nil { // want: retired name
+		return err
+	}
+	return RunWorker(comm) // want: retired name
 }
 
 func sanctioned(p core.Problem, cfg hf.Config) error {

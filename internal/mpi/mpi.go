@@ -70,8 +70,9 @@ const (
 // Reserved tags for the telemetry plane (internal/obs/telemetry). They
 // live in the user tag space, above the trainer's shard and async tags
 // (9000-9105) and the elastic command tag (9500 — see internal/core),
-// so telemetry traffic never collides with training traffic or the
-// collective tag blocks above. The static tag plan is pinned by
+// and below the serving plane's pair (9700/9701 — see internal/serve),
+// so telemetry traffic never collides with training or serving traffic
+// or the collective tag blocks above. The static tag plan is pinned by
 // TestReservedTagPlan in tags_test.go.
 const (
 	// TagClockSync carries the master↔worker RTT ping/pong rounds that

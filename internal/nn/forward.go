@@ -77,27 +77,7 @@ func sigmoidInPlace(z *tensor.Matrix) {
 //lint:shape return=(logits.Rows,logits.Cols)
 func Softmax(logits *tensor.Matrix) *tensor.Matrix {
 	p := tensor.NewMatrix(logits.Rows, logits.Cols)
-	for i := 0; i < logits.Rows; i++ {
-		src := logits.Row(i)
-		dst := p.Row(i)
-		max := src[0]
-		for _, v := range src[1:] {
-			if v > max {
-				max = v
-			}
-		}
-		var sum float64
-		for j, v := range src {
-			e := math.Exp(float64(v - max))
-			dst[j] = float32(e)
-			sum += e
-		}
-		//lint:ignore divguard after max subtraction the max element contributes exp(0)=1, so sum ≥ 1
-		inv := float32(1 / sum)
-		for j := range dst {
-			dst[j] *= inv
-		}
-	}
+	SoftmaxInto(logits, p)
 	return p
 }
 

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The shared-inference contract: ForwardInto over preallocated buffers
+// must agree bit-for-bit with the training-path Forward — same GEMM,
+// same bias/activation order, no numeric drift from the buffer reuse.
+func TestForwardIntoMatchesForward(t *testing.T) {
+	net := testNet(t, 6, 9, 5, 4)
+	rng := rand.New(rand.NewSource(7))
+	buf := net.Topo.NewInferBuffers(16)
+	for _, rows := range []int{1, 3, 16} {
+		x := tensor.RandMatrix(rng, rows, 6, 1)
+		want := net.Forward(x).Logits
+		got := net.ForwardInto(buf, x)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("rows=%d: logits %d×%d, want %d×%d", rows, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := 0; i < rows; i++ {
+			gr, wr := got.Row(i), want.Row(i)
+			for j := range wr {
+				if gr[j] != wr[j] {
+					t.Fatalf("rows=%d: logits[%d][%d] = %v, want %v (bitwise)", rows, i, j, gr[j], wr[j])
+				}
+			}
+		}
+	}
+}
+
+// Shrinking then regrowing the live batch must not leak stale rows: a
+// full-batch pass after a small one sees freshly computed values
+// everywhere, because every row is recomputed, not reused.
+func TestInferBuffersReuseAcrossBatchSizes(t *testing.T) {
+	net := testNet(t, 4, 6, 3)
+	rng := rand.New(rand.NewSource(8))
+	buf := net.Topo.NewInferBuffers(8)
+	big := tensor.RandMatrix(rng, 8, 4, 1)
+	want := net.Forward(big).Logits
+	// Dirty the buffers with a 2-row pass, then run the full batch.
+	small := tensor.RandMatrix(rng, 2, 4, 1)
+	net.ForwardInto(buf, small)
+	got := net.ForwardInto(buf, big)
+	for i := 0; i < 8; i++ {
+		gr, wr := got.Row(i), want.Row(i)
+		for j := range wr {
+			if gr[j] != wr[j] {
+				t.Fatalf("row %d reused stale state: got %v, want %v", i, gr[j], wr[j])
+			}
+		}
+	}
+}
+
+func TestForwardIntoRejectsBadInput(t *testing.T) {
+	net := testNet(t, 4, 6, 3)
+	buf := net.Topo.NewInferBuffers(4)
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"batch too large", func() { net.ForwardInto(buf, tensor.NewMatrix(5, 4)) }},
+		{"wrong input dim", func() { net.ForwardInto(buf, tensor.NewMatrix(2, 3)) }},
+		{"foreign buffers", func() {
+			other := NewTopology(4, 2, 3).NewInferBuffers(4)
+			net.ForwardInto(other, tensor.NewMatrix(2, 4))
+		}},
+		{"zero maxBatch", func() { net.Topo.NewInferBuffers(0) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.run()
+		}()
+	}
+}
+
+// SoftmaxInto must normalize each row, match the allocating Softmax,
+// and support the in-place form the serving runtime uses.
+func TestSoftmaxInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	logits := tensor.RandMatrix(rng, 5, 7, 4)
+	want := Softmax(logits)
+	inplace := tensor.NewMatrix(5, 7)
+	for i := 0; i < 5; i++ {
+		copy(inplace.Row(i), logits.Row(i))
+	}
+	SoftmaxInto(inplace, inplace)
+	for i := 0; i < 5; i++ {
+		var sum float64
+		gr, wr := inplace.Row(i), want.Row(i)
+		for j := range wr {
+			if gr[j] != wr[j] {
+				t.Fatalf("in-place softmax diverges at [%d][%d]: %v vs %v", i, j, gr[j], wr[j])
+			}
+			sum += float64(gr[j])
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d sums to %v, want ≈1", i, sum)
+		}
+	}
+	// Shape mismatch must panic, not write out of place.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shape mismatch accepted")
+			}
+		}()
+		SoftmaxInto(logits, tensor.NewMatrix(5, 6))
+	}()
+}
+
+// TestZeroAllocForwardInto is the runtime half of the allocation gate
+// for the shared inference path (the escape gate is the compiler half):
+// steady-state batched scoring must not touch the allocator.
+func TestZeroAllocForwardInto(t *testing.T) {
+	net := testNet(t, 10, 16, 8)
+	rng := rand.New(rand.NewSource(10))
+	buf := net.Topo.NewInferBuffers(32)
+	x := tensor.RandMatrix(rng, 32, 10, 1)
+	net.ForwardInto(buf, x) // warm up
+	if n := testing.AllocsPerRun(20, func() { net.ForwardInto(buf, x) }); n != 0 {
+		t.Errorf("ForwardInto: %.0f allocs per call, want 0", n)
+	}
+	logits := net.ForwardInto(buf, x)
+	if n := testing.AllocsPerRun(20, func() { SoftmaxInto(logits, logits) }); n != 0 {
+		t.Errorf("SoftmaxInto (in-place): %.0f allocs per call, want 0", n)
+	}
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// request is one admitted scoring request parked in the queue: the
+// caller's feature row, the caller-owned output buffer the scores land
+// in, and the completion signal its Score call blocks on.
+type request struct {
+	row   []float32
+	out   []float32
+	start time.Time
+	err   error
+	done  chan struct{}
+}
+
+// scorer runs one batch of requests through the model. Implementations
+// are single-goroutine (each scoring worker owns one): localScorer
+// copies rows into preallocated nn.InferBuffers and runs the forward
+// pass in-process; replicaScorer ships the batch to a replica rank over
+// the mpi fabric. The returned logits matrix is owned by the scorer and
+// valid until its next score call.
+type scorer interface {
+	score(batch []*request) (*tensor.Matrix, error)
+	// stop releases the scorer at drain time (replica shutdown; no-op
+	// locally).
+	stop() error
+}
+
+// batcher is the serving pipeline: bounded admission queue → collector
+// goroutine coalescing requests into batches (flush on batch-full or on
+// the oldest request's deadline) → scoring workers.
+//
+// Shutdown protocol (close): draining flips first, so admission stops;
+// the closer then waits for the pending count to hit zero (every
+// admitted request completed) before closing stop — the collector exits
+// idle, workers exit on the closed batches channel. The pending counter
+// uses the double-check idiom on the admission side so a racing Score
+// can never slip an uncounted request past the drain: it increments
+// pending, re-checks draining, and backs out if the drain has begun.
+type batcher struct {
+	s       *Server
+	scorers []scorer
+
+	queue   chan *request
+	batches chan []*request
+	stop    chan struct{} // closed after drain: collector exits
+	colDone chan struct{} // closed when the collector has returned
+	wg      sync.WaitGroup
+
+	draining atomic.Bool
+	pending  atomic.Int64 // admitted, not yet completed
+	ewmaNs   atomic.Int64 // smoothed per-request service time estimate
+
+	closeOnce sync.Once
+}
+
+// newBatcher wires the pipeline and starts the collector and one worker
+// per scorer.
+func newBatcher(s *Server, scorers []scorer) *batcher {
+	b := &batcher{
+		s:       s,
+		scorers: scorers,
+		queue:   make(chan *request, s.opt.queueDepth),
+		batches: make(chan []*request, len(scorers)),
+		stop:    make(chan struct{}),
+		colDone: make(chan struct{}),
+	}
+	go b.collect()
+	b.wg.Add(len(scorers))
+	for _, sc := range scorers {
+		go b.worker(sc)
+	}
+	return b
+}
+
+// depth returns the live queue length.
+func (b *batcher) depth() int { return len(b.queue) }
+
+// score admits one request and blocks until it completes. Shedding
+// happens strictly before enqueue: a full queue (or a load-aware wait
+// estimate beyond WithMaxWait) returns ErrQueueFull without the request
+// ever entering the pipeline.
+func (b *batcher) score(row, out []float32) error {
+	met := &b.s.met
+	if b.draining.Load() {
+		met.drained.Inc()
+		return ErrDraining
+	}
+	if mw := b.s.opt.maxWait; mw > 0 {
+		if e := b.ewmaNs.Load(); e > 0 {
+			est := time.Duration((int64(len(b.queue))+1) * e / int64(len(b.scorers)))
+			if est > mw {
+				met.shed.Inc()
+				return ErrQueueFull
+			}
+		}
+	}
+	r := &request{row: row, out: out, start: time.Now(), done: make(chan struct{})}
+	b.pending.Add(1)
+	if b.draining.Load() {
+		// Double-check after the increment: if the closer's drain wait is
+		// already polling pending, the increment above is visible to it,
+		// so backing out here keeps the count exact.
+		b.pending.Add(-1)
+		met.drained.Inc()
+		return ErrDraining
+	}
+	select {
+	case b.queue <- r:
+		met.requests.Inc()
+		met.queueDepth.Set(float64(len(b.queue)))
+	default:
+		b.pending.Add(-1)
+		met.shed.Inc()
+		return ErrQueueFull
+	}
+	<-r.done
+	met.latencyUS.Observe(time.Since(r.start).Microseconds())
+	return r.err
+}
+
+// collect coalesces queued requests into batches. The flush rules:
+// batch-full (len == MaxBatch) dispatches immediately; otherwise a
+// timer armed when the first request of a batch arrives dispatches
+// whatever is pending once the batch window expires — so no request
+// waits for batch-mates longer than the window.
+func (b *batcher) collect() {
+	defer close(b.colDone)
+	met := &b.s.met
+	maxBatch := b.s.opt.maxBatch
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var pending []*request
+	for {
+		if len(pending) == 0 {
+			select {
+			case r := <-b.queue:
+				met.queueDepth.Set(float64(len(b.queue)))
+				pending = append(pending, r)
+				timer.Reset(b.s.opt.window)
+			case <-b.stop:
+				b.failQueued()
+				return
+			}
+			if len(pending) == maxBatch {
+				b.stopTimer(timer)
+				met.flushFull.Inc()
+				if !b.dispatch(pending) {
+					return
+				}
+				pending = nil
+			}
+			continue
+		}
+		select {
+		case r := <-b.queue:
+			met.queueDepth.Set(float64(len(b.queue)))
+			pending = append(pending, r)
+			if len(pending) == maxBatch {
+				b.stopTimer(timer)
+				met.flushFull.Inc()
+				if !b.dispatch(pending) {
+					return
+				}
+				pending = nil
+			}
+		case <-timer.C:
+			met.flushTimer.Inc()
+			if !b.dispatch(pending) {
+				return
+			}
+			pending = nil
+		case <-b.stop:
+			// Forced stop (drain timeout): hand the coalesced batch to the
+			// workers if possible, then fail whatever is still queued.
+			b.stopTimer(timer)
+			b.dispatch(pending)
+			b.failQueued()
+			return
+		}
+	}
+}
+
+// stopTimer quiesces the flush timer between batches, draining a
+// concurrent fire so the next Reset starts clean.
+func (b *batcher) stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// dispatch hands a batch to the worker pool, blocking for backpressure.
+// It returns false when the stop signal preempted the handoff (the
+// batch's requests are failed with ErrDraining and the collector must
+// exit).
+func (b *batcher) dispatch(batch []*request) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	met := &b.s.met
+	met.batches.Inc()
+	met.batchRows.Observe(int64(len(batch)))
+	select {
+	case b.batches <- batch:
+		return true
+	case <-b.stop:
+		b.fail(batch)
+		b.failQueued()
+		return false
+	}
+}
+
+// failQueued drains the admission queue, failing every parked request
+// with ErrDraining; only the forced-stop path reaches it with requests
+// still queued.
+func (b *batcher) failQueued() {
+	for {
+		select {
+		case r := <-b.queue:
+			b.fail([]*request{r})
+		default:
+			return
+		}
+	}
+}
+
+// fail completes requests with ErrDraining.
+func (b *batcher) fail(batch []*request) {
+	for _, r := range batch {
+		r.err = ErrDraining
+		close(r.done)
+		b.pending.Add(-1)
+	}
+}
+
+// worker scores batches until the batches channel closes.
+func (b *batcher) worker(sc scorer) {
+	defer b.wg.Done()
+	for {
+		batch, ok := <-b.batches
+		if !ok {
+			return
+		}
+		b.runBatch(sc, batch)
+	}
+}
+
+// runBatch scores one batch and completes its requests: copy each
+// logits row into the request's output buffer (after the optional
+// softmax transform), signal completion, and fold the batch's
+// per-request service time into the load estimate WithMaxWait sheds on.
+func (b *batcher) runBatch(sc scorer, batch []*request) {
+	start := time.Now()
+	logits, err := sc.score(batch)
+	if err == nil && b.s.opt.softmax {
+		nn.SoftmaxInto(logits, logits)
+	}
+	for i, r := range batch {
+		if err != nil {
+			r.err = err
+		} else {
+			copy(r.out, logits.Row(i))
+		}
+		close(r.done)
+		b.pending.Add(-1)
+	}
+	perReq := time.Since(start).Nanoseconds() / int64(len(batch))
+	old := b.ewmaNs.Load()
+	if old == 0 {
+		b.ewmaNs.Store(perReq)
+	} else {
+		// 4:1 exponential smoothing in integer nanoseconds.
+		b.ewmaNs.Store((old*4 + perReq) / 5)
+	}
+}
+
+// close drains and stops the pipeline; see the batcher doc comment for
+// the protocol. Requests still queued when the drain timeout expires
+// fail with ErrDraining through their own Score calls.
+func (b *batcher) close(timeout time.Duration) error {
+	var errOut error
+	b.closeOnce.Do(func() {
+		b.draining.Store(true)
+		deadline := time.Now().Add(timeout)
+		for b.pending.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Microsecond)
+		}
+		close(b.stop)
+		<-b.colDone
+		close(b.batches)
+		b.wg.Wait()
+		for _, sc := range b.scorers {
+			if err := sc.stop(); err != nil && errOut == nil {
+				errOut = err
+			}
+		}
+	})
+	return errOut
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// gateScorer is a controllable scorer for batcher tests: every score
+// call parks on the gate until the test releases it (close the gate to
+// release everything), records the batch sizes it served, and scores
+// row i of a batch as [float32(i)] so tests can verify the row→output
+// mapping survives coalescing.
+type gateScorer struct {
+	gate    chan struct{}
+	started chan struct{} // one tick per score call, sent before parking
+
+	mu      sync.Mutex
+	batches []int
+	out     *tensor.Matrix
+}
+
+func newGateScorer(maxBatch int) *gateScorer {
+	return &gateScorer{
+		gate:    make(chan struct{}),
+		started: make(chan struct{}, 64),
+		out:     tensor.NewMatrix(maxBatch, 1),
+	}
+}
+
+func (g *gateScorer) score(batch []*request) (*tensor.Matrix, error) {
+	g.started <- struct{}{}
+	<-g.gate
+	g.mu.Lock()
+	g.batches = append(g.batches, len(batch))
+	g.mu.Unlock()
+	g.out.Rows = len(batch)
+	for i := range batch {
+		g.out.Row(i)[0] = float32(i)
+	}
+	return g.out, nil
+}
+
+func (g *gateScorer) stop() error { return nil }
+
+func (g *gateScorer) batchSizes() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.batches...)
+}
+
+// newTestBatcher builds a pipeline around the given scorers without a
+// model: batcher tests drive b.score directly, so no network is needed.
+func newTestBatcher(o options, scorers ...scorer) (*Server, *obs.Registry) {
+	reg := obs.NewRegistry()
+	s := &Server{opt: o, met: newMetrics(reg)}
+	s.b = newBatcher(s, scorers)
+	return s, reg
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// scoreAsync launches one score call and returns its error channel.
+func scoreAsync(s *Server) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- s.b.score([]float32{1}, make([]float32, 1)) }()
+	return ch
+}
+
+// A full batch must flush immediately — the hour-long window proves the
+// size trigger fired, not the timer.
+func TestBatcherFlushOnBatchFull(t *testing.T) {
+	sc := newGateScorer(4)
+	close(sc.gate) // never block scoring
+	s, reg := newTestBatcher(options{
+		window: time.Hour, maxBatch: 4, queueDepth: 16, drainTimeout: time.Second,
+	}, sc)
+	var chans []chan error
+	for i := 0; i < 4; i++ {
+		chans = append(chans, scoreAsync(s))
+	}
+	for _, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("serve.flush_full").Value(); got != 1 {
+		t.Errorf("flush_full = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.flush_deadline").Value(); got != 0 {
+		t.Errorf("flush_deadline = %d, want 0", got)
+	}
+	if sizes := sc.batchSizes(); len(sizes) != 1 || sizes[0] != 4 {
+		t.Errorf("batch sizes %v, want [4]", sizes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A partial batch must flush once the oldest request has waited the
+// batch window, and ride out as one coalesced batch.
+func TestBatcherFlushOnDeadline(t *testing.T) {
+	sc := newGateScorer(32)
+	close(sc.gate)
+	s, reg := newTestBatcher(options{
+		window: 2 * time.Millisecond, maxBatch: 32, queueDepth: 16, drainTimeout: time.Second,
+	}, sc)
+	var chans []chan error
+	for i := 0; i < 3; i++ {
+		chans = append(chans, scoreAsync(s))
+	}
+	for _, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("serve.flush_full").Value(); got != 0 {
+		t.Errorf("flush_full = %d, want 0", got)
+	}
+	if got := reg.Counter("serve.flush_deadline").Value(); got == 0 {
+		t.Error("no deadline flush recorded")
+	}
+	if sizes := sc.batchSizes(); len(sizes) == 0 || sizes[0] > 3 {
+		t.Errorf("batch sizes %v, want first ≤ 3", sizes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Admission control: a request arriving at a full queue is shed with
+// ErrQueueFull synchronously, before anything is enqueued — and the
+// requests already admitted still complete once the worker unblocks.
+func TestBatcherShedsBeforeEnqueue(t *testing.T) {
+	sc := newGateScorer(1)
+	s, reg := newTestBatcher(options{
+		window: time.Microsecond, maxBatch: 1, queueDepth: 1, drainTimeout: time.Second,
+	}, sc)
+	// Fill every stage: worker (parked on the gate), batches channel,
+	// collector's dispatch, and the queue itself.
+	r0 := scoreAsync(s)
+	waitFor(t, "worker to start batch 0", func() bool { return len(sc.started) == 1 })
+	r1 := scoreAsync(s)
+	waitFor(t, "batch 1 to park in the batches channel", func() bool { return len(s.b.batches) == 1 })
+	r2 := scoreAsync(s)
+	waitFor(t, "collector to block on dispatch", func() bool { return s.b.depth() == 0 && s.b.pending.Load() == 3 })
+	r3 := scoreAsync(s)
+	waitFor(t, "request 3 to park in the queue", func() bool { return s.b.depth() == 1 })
+
+	// The pipeline is saturated: the next request must shed immediately.
+	start := time.Now()
+	err := s.b.score([]float32{1}, make([]float32, 1))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated pipeline returned %v, want ErrQueueFull", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shed took %v, want immediate rejection", d)
+	}
+	if got := reg.Counter("serve.shed").Value(); got != 1 {
+		t.Errorf("serve.shed = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.requests").Value(); got != 4 {
+		t.Errorf("serve.requests = %d, want 4 (shed request must not count)", got)
+	}
+
+	close(sc.gate)
+	for i, ch := range []chan error{r0, r1, r2, r3} {
+		if err := <-ch; err != nil {
+			t.Fatalf("admitted request %d failed: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// WithMaxWait sheds on the load estimate: once the observed service time
+// says queued work exceeds the bound, requests are rejected even though
+// the queue has room.
+func TestBatcherLoadAwareShedding(t *testing.T) {
+	sc := newGateScorer(1)
+	close(sc.gate)
+	s, reg := newTestBatcher(options{
+		window: time.Microsecond, maxBatch: 1, queueDepth: 64,
+		maxWait: time.Nanosecond, drainTimeout: time.Second,
+	}, sc)
+	// First request trains the EWMA (no estimate yet, so it is admitted).
+	if err := <-scoreAsync(s); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	waitFor(t, "service-time estimate", func() bool { return s.b.ewmaNs.Load() > 0 })
+	// Any real service time exceeds a 1ns bound: shed on the estimate.
+	if err := s.b.score([]float32{1}, make([]float32, 1)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("loaded server returned %v, want ErrQueueFull", err)
+	}
+	if got := reg.Counter("serve.shed").Value(); got != 1 {
+		t.Errorf("serve.shed = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Graceful drain: Close stops admission immediately (ErrDraining) but
+// in-flight requests complete normally before Close returns.
+func TestBatcherGracefulDrain(t *testing.T) {
+	sc := newGateScorer(2)
+	s, _ := newTestBatcher(options{
+		window: time.Microsecond, maxBatch: 2, queueDepth: 8, drainTimeout: 10 * time.Second,
+	}, sc)
+	r0 := scoreAsync(s)
+	r1 := scoreAsync(s)
+	waitFor(t, "worker to start the in-flight batch", func() bool { return len(sc.started) >= 1 })
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	waitFor(t, "draining to flip", func() bool { return s.Draining() })
+
+	// New admissions are refused while the drain holds the in-flight work.
+	if err := s.b.score([]float32{1}, make([]float32, 1)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining server returned %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v with requests in flight", err)
+	default:
+	}
+
+	close(sc.gate)
+	for i, ch := range []chan error{r0, r1} {
+		if err := <-ch; err != nil {
+			t.Fatalf("in-flight request %d failed during drain: %v", i, err)
+		}
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close is idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Requests still parked past the drain timeout fail with ErrDraining
+// through their own score calls, while requests the workers already
+// hold complete normally.
+func TestBatcherDrainTimeoutFailsQueued(t *testing.T) {
+	sc := newGateScorer(1)
+	s, _ := newTestBatcher(options{
+		window: time.Microsecond, maxBatch: 1, queueDepth: 1, drainTimeout: 5 * time.Millisecond,
+	}, sc)
+	// Same saturation ladder as the shed test: r0 at the worker, r1 in
+	// the batches channel, r2 at the collector's dispatch, r3 queued.
+	r0 := scoreAsync(s)
+	waitFor(t, "worker to start batch 0", func() bool { return len(sc.started) == 1 })
+	r1 := scoreAsync(s)
+	waitFor(t, "batch 1 to park in the batches channel", func() bool { return len(s.b.batches) == 1 })
+	r2 := scoreAsync(s)
+	waitFor(t, "collector to block on dispatch", func() bool { return s.b.depth() == 0 && s.b.pending.Load() == 3 })
+	r3 := scoreAsync(s)
+	waitFor(t, "request 3 to park in the queue", func() bool { return s.b.depth() == 1 })
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// The drain times out against the parked worker; the collector's
+	// coalesced batch and the queued request must fail, not hang.
+	for i, ch := range []chan error{r2, r3} {
+		if err := <-ch; !errors.Is(err, ErrDraining) {
+			t.Fatalf("parked request %d returned %v, want ErrDraining", i+2, err)
+		}
+	}
+	close(sc.gate)
+	for i, ch := range []chan error{r0, r1} {
+		if err := <-ch; err != nil {
+			t.Fatalf("dispatched request %d failed: %v", i, err)
+		}
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// scoreRequest is the POST /score body: a batch of feature vectors.
+type scoreRequest struct {
+	Instances [][]float32 `json:"instances"`
+}
+
+// scoreResponse is the /score reply: one score vector per instance,
+// plus the argmax class of each.
+type scoreResponse struct {
+	Scores  [][]float32 `json:"scores"`
+	Classes []int       `json:"classes"`
+}
+
+// httpError is the JSON error body for non-200 replies.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// maxScoreBody bounds a /score request body (16 MiB) so a misbehaving
+// client cannot balloon the decoder.
+const maxScoreBody = 16 << 20
+
+// Handler returns the server's HTTP API:
+//
+//	POST /score    {"instances":[[...features...],...]}
+//	               → {"scores":[[...],...],"classes":[...]}
+//	GET  /healthz  200 while serving, 503 while draining
+//
+// Each instance is admitted to the batcher independently, so one HTTP
+// request's instances coalesce with concurrent traffic. Admission
+// failures map to transport status codes: ErrQueueFull → 429 (retry
+// later), ErrDraining → 503 (the server is shutting down).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/score", s.handleScore)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST /score")
+		return
+	}
+	var req scoreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScoreBody))
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	in := s.topo.InputDim()
+	for i, row := range req.Instances {
+		if len(row) != in {
+			writeJSONError(w, http.StatusBadRequest,
+				fmt.Sprintf("instance %d has %d features, model wants %d", i, len(row), in))
+			return
+		}
+	}
+	resp := scoreResponse{
+		Scores:  make([][]float32, len(req.Instances)),
+		Classes: make([]int, len(req.Instances)),
+	}
+	out := s.topo.OutputDim()
+	for i, row := range req.Instances {
+		buf := make([]float32, out)
+		if err := s.Score(row, buf); err != nil {
+			writeJSONError(w, statusFor(err), err.Error())
+			return
+		}
+		resp.Scores[i] = buf
+		resp.Classes[i] = argmax(buf)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&resp); err != nil {
+		// The status line is already written; nothing left to signal.
+		_ = err
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSONError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write([]byte("{\"status\":\"ok\"}\n")); err != nil {
+		_ = err
+	}
+}
+
+// statusFor maps admission errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(httpError{Error: msg}); err != nil {
+		_ = err
+	}
+}
+
+// argmax returns the index of the largest score.
+func argmax(scores []float32) int {
+	best := 0
+	for j, v := range scores {
+		if v > scores[best] {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,183 @@
+// Package loadgen is a closed-loop load generator for the serving
+// runtime: C concurrent clients each issue one request, wait for its
+// completion, and immediately issue the next, so offered load tracks
+// the server's actual capacity rather than an open-loop arrival rate.
+// BenchmarkServe drives it to produce BENCH_serve.json; the serve tests
+// use it to exercise the batcher under concurrency.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Target scores one feature vector into out. In-process runs pass
+// (*serve.Server).Score directly; HTTPTarget adapts a running hfserve
+// endpoint to the same shape.
+type Target func(row, out []float32) error
+
+// Config sizes one closed-loop run.
+type Config struct {
+	// Concurrency is the closed-loop client count (default 4).
+	Concurrency int
+	// Requests is the total request budget across all clients.
+	Requests int
+	// InputDim and OutputDim size the generated feature vectors and the
+	// per-client output buffers.
+	InputDim, OutputDim int
+	// Seed feeds the per-client feature generators; two runs with the
+	// same seed offer identical request streams.
+	Seed int64
+}
+
+// Result aggregates one run. Latencies are measured around individual
+// Target calls, so with the in-process target they include queueing,
+// batching and scoring but not HTTP framing.
+type Result struct {
+	// Requests is the number of requests issued (OK + Errors).
+	Requests int `json:"requests"`
+	// OK counts requests that returned nil.
+	OK int `json:"ok"`
+	// Errors counts failed requests (shed, draining, transport).
+	Errors int `json:"errors"`
+	// Elapsed is the wall-clock span of the run.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Throughput is completed-OK requests per second.
+	Throughput float64 `json:"req_per_sec"`
+	// P50, P99 and Mean summarize per-request latency.
+	P50  time.Duration `json:"p50_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	Mean time.Duration `json:"mean_ns"`
+}
+
+// Run drives target with cfg.Concurrency closed-loop clients until the
+// request budget is spent, then merges the per-client latency records.
+func Run(cfg Config, target Target) Result {
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 4
+	}
+	if cfg.Requests <= 0 || cfg.InputDim <= 0 || cfg.OutputDim <= 0 {
+		panic(fmt.Sprintf("loadgen: bad config %+v", cfg))
+	}
+	perClient := cfg.Requests / conc
+	extra := cfg.Requests % conc
+
+	type clientStats struct {
+		lat  []time.Duration
+		errs int
+	}
+	stats := make([]clientStats, conc)
+	var wg sync.WaitGroup
+	wg.Add(conc)
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		n := perClient
+		if c < extra {
+			n++
+		}
+		go func(c, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			row := make([]float32, cfg.InputDim)
+			out := make([]float32, cfg.OutputDim)
+			st := &stats[c]
+			st.lat = make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
+				for j := range row {
+					row[j] = rng.Float32()
+				}
+				t0 := time.Now()
+				err := target(row, out)
+				st.lat = append(st.lat, time.Since(t0))
+				if err != nil {
+					st.errs++
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	res := Result{Elapsed: elapsed}
+	for c := range stats {
+		all = append(all, stats[c].lat...)
+		res.Errors += stats[c].errs
+	}
+	res.Requests = len(all)
+	res.OK = res.Requests - res.Errors
+	if len(all) == 0 {
+		return res
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50 = percentile(all, 50)
+	res.P99 = percentile(all, 99)
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	res.Mean = sum / time.Duration(len(all))
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.Throughput = float64(res.OK) / secs
+	}
+	return res
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// HTTPTarget adapts a running serve HTTP endpoint (POST base/score) to
+// the Target shape: one instance per request, scores copied into out.
+func HTTPTarget(client *http.Client, base string) Target {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := base + "/score"
+	return func(row, out []float32) error {
+		body, err := json.Marshal(struct {
+			Instances [][]float32 `json:"instances"`
+		}{Instances: [][]float32{row}})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := resp.Body.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadgen: %s: HTTP %d", url, resp.StatusCode)
+		}
+		var parsed struct {
+			Scores [][]float32 `json:"scores"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+			return err
+		}
+		if len(parsed.Scores) != 1 || len(parsed.Scores[0]) != len(out) {
+			return fmt.Errorf("loadgen: %s: malformed scores in reply", url)
+		}
+		copy(out, parsed.Scores[0])
+		return nil
+	}
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAccountsEveryRequest(t *testing.T) {
+	var calls, fails atomic.Int64
+	target := func(row, out []float32) error {
+		n := calls.Add(1)
+		if len(row) != 5 || len(out) != 3 {
+			t.Errorf("target got %d→%d dims, want 5→3", len(row), len(out))
+		}
+		if n%10 == 0 {
+			fails.Add(1)
+			return errors.New("injected failure")
+		}
+		return nil
+	}
+	res := Run(Config{Concurrency: 3, Requests: 50, InputDim: 5, OutputDim: 3, Seed: 1}, target)
+	if res.Requests != 50 || int64(res.Requests) != calls.Load() {
+		t.Fatalf("accounted %d requests, target saw %d, want 50", res.Requests, calls.Load())
+	}
+	if int64(res.Errors) != fails.Load() || res.OK != res.Requests-res.Errors {
+		t.Fatalf("OK/Errors %d/%d inconsistent with %d injected failures", res.OK, res.Errors, fails.Load())
+	}
+	if res.P50 > res.P99 {
+		t.Fatalf("P50 %v > P99 %v", res.P50, res.P99)
+	}
+	if res.Elapsed <= 0 || res.Throughput <= 0 || res.Mean <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i + 1)
+	}
+	if p := percentile(sorted, 50); p != 50 {
+		t.Errorf("P50 of 1..100 = %d, want 50", p)
+	}
+	if p := percentile(sorted, 99); p != 99 {
+		t.Errorf("P99 of 1..100 = %d, want 99", p)
+	}
+	if p := percentile(sorted[:1], 99); p != 1 {
+		t.Errorf("P99 of a single sample = %d, want 1", p)
+	}
+}
+
+func TestHTTPTargetRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Instances [][]float32 `json:"instances"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Instances) != 1 {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		// Echo each feature doubled so the test can verify the copy-out.
+		scores := make([]float32, len(req.Instances[0]))
+		for j, v := range req.Instances[0] {
+			scores[j] = 2 * v
+		}
+		fmt.Fprintf(w, `{"scores":[[%v,%v]],"classes":[0]}`, scores[0], scores[1])
+	}))
+	defer ts.Close()
+
+	target := HTTPTarget(ts.Client(), ts.URL)
+	out := make([]float32, 2)
+	if err := target([]float32{1.5, -2}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 || out[1] != -4 {
+		t.Fatalf("scores %v, want [3 -4]", out)
+	}
+}
+
+func TestHTTPTargetSurfacesStatusCodes(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	err := HTTPTarget(ts.Client(), ts.URL)(make([]float32, 2), make([]float32, 2))
+	if err == nil {
+		t.Fatal("429 reply reported as success")
+	}
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// localScorer runs batches through the network in-process over
+// preallocated buffers: one maxBatch-row input matrix and one
+// nn.InferBuffers per scoring worker, so the steady-state score path
+// performs zero allocations (TestZeroAllocScore holds it to that).
+type localScorer struct {
+	net *nn.Network
+	x   *tensor.Matrix // maxBatch × InputDim staging for the batch rows
+	buf *nn.InferBuffers
+}
+
+func newLocalScorer(net *nn.Network, maxBatch int) *localScorer {
+	return &localScorer{
+		net: net,
+		x:   tensor.NewMatrix(maxBatch, net.Topo.InputDim()),
+		buf: net.Topo.NewInferBuffers(maxBatch),
+	}
+}
+
+// score copies the batch's rows into the staging matrix and runs the
+// shared inference forward pass. The returned logits alias the worker's
+// buffers and are valid until the next call.
+//
+//lint:hotpath
+func (sc *localScorer) score(batch []*request) (*tensor.Matrix, error) {
+	x := sc.x
+	x.Rows = len(batch)
+	for i, r := range batch {
+		copy(x.Row(i), r.row)
+	}
+	return sc.net.ForwardInto(sc.buf, x), nil
+}
+
+// stop implements scorer; the local path has nothing to release.
+func (sc *localScorer) stop() error { return nil }

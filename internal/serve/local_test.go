@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestZeroAllocScore is the runtime allocation gate for the serving hot
+// path (the escape gate is the compiler half): a worker's steady-state
+// batch scoring — stage rows, forward pass, read logits — must not
+// touch the allocator. Queue and completion plumbing allocate per
+// request by design; the per-batch numeric work must not.
+func TestZeroAllocScore(t *testing.T) {
+	_, net := testCheckpoint(t, 10, 16, 8)
+	sc := newLocalScorer(net, 16)
+	rng := rand.New(rand.NewSource(13))
+	batch := make([]*request, 16)
+	for i := range batch {
+		row := make([]float32, 10)
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		batch[i] = &request{row: row, out: make([]float32, 8)}
+	}
+	if _, err := sc.score(batch); err != nil { // warm up
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		logits, err := sc.score(batch)
+		if err != nil || logits.Rows != 16 {
+			t.Fatal("score failed inside the allocation probe")
+		}
+	})
+	if n != 0 {
+		t.Errorf("localScorer.score: %.0f allocs per batch, want 0", n)
+	}
+	// The scored logits must still be right: row i of the batch maps to
+	// logits row i through the staging copy.
+	x := tensor.NewMatrix(16, 10)
+	for i, r := range batch {
+		copy(x.Row(i), r.row)
+	}
+	want := net.Forward(x).Logits
+	got, err := sc.score(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		gr, wr := got.Row(i), want.Row(i)
+		for j := range wr {
+			if gr[j] != wr[j] {
+				t.Fatalf("logits[%d][%d] = %v, want %v", i, j, gr[j], wr[j])
+			}
+		}
+	}
+}
